@@ -1,0 +1,50 @@
+//! Simulator throughput: how fast the discrete-event machine processes
+//! kernel dispatches under different co-location levels — the cost of
+//! every experiment in this suite.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use krisp::KrispAllocator;
+use krisp_runtime::{PartitionMode, Runtime, RuntimeConfig};
+use krisp_sim::KernelDesc;
+
+fn run_kernels(workers: usize, per_worker: usize, mode: PartitionMode) -> u64 {
+    let mut rt = Runtime::new(RuntimeConfig {
+        mode,
+        allocator: Box::new(KrispAllocator::isolated()),
+        ..RuntimeConfig::default()
+    });
+    let streams: Vec<_> = (0..workers).map(|_| rt.create_stream()).collect();
+    let kernel = KernelDesc::new("bench", 1.0e6, 20);
+    if matches!(mode, PartitionMode::KernelScopedNative) {
+        rt.perfdb_mut().insert(&kernel, 20);
+    }
+    for &s in &streams {
+        for i in 0..per_worker {
+            rt.launch(s, kernel.clone(), i as u64);
+        }
+    }
+    rt.run_to_idle();
+    rt.now().as_nanos()
+}
+
+fn bench_machine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("machine_dispatch_chain");
+    group.sample_size(20);
+    for &workers in &[1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("stream_masking", workers),
+            &workers,
+            |b, &w| b.iter(|| black_box(run_kernels(w, 200, PartitionMode::StreamMasking))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("kernel_scoped_native", workers),
+            &workers,
+            |b, &w| b.iter(|| black_box(run_kernels(w, 200, PartitionMode::KernelScopedNative))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_machine);
+criterion_main!(benches);

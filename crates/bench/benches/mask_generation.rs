@@ -1,0 +1,54 @@
+//! §IV-D3 — wall-clock cost of Algorithm 1 (partition resource-mask
+//! generation). The paper profiled its software implementation at a
+//! ~1 µs tail; this bench checks ours is in the same regime across
+//! request sizes and device-load levels.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use krisp::KrispAllocator;
+use krisp_sim::{CuKernelCounters, CuMask, GpuTopology, MaskAllocator};
+
+fn loaded_counters(topo: &GpuTopology, load_kernels: usize) -> CuKernelCounters {
+    let mut counters = CuKernelCounters::new(*topo);
+    let mut alloc = KrispAllocator::oversubscribed(topo);
+    for i in 0..load_kernels {
+        let n = 5 + (i as u16 * 7) % 25;
+        let mask = alloc.allocate(n, &counters, topo);
+        counters.assign(&mask);
+    }
+    counters
+}
+
+fn bench_mask_generation(c: &mut Criterion) {
+    let topo = GpuTopology::MI50;
+    let mut group = c.benchmark_group("algorithm1_mask_generation");
+    for &load in &[0usize, 4, 16] {
+        let counters = loaded_counters(&topo, load);
+        for &request in &[12u16, 30, 60] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("load{load}"), request),
+                &request,
+                |b, &req| {
+                    let mut alloc = KrispAllocator::isolated();
+                    b.iter(|| black_box(alloc.allocate(black_box(req), &counters, &topo)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_counter_update(c: &mut Criterion) {
+    let topo = GpuTopology::MI50;
+    let mask = CuMask::first_n(30, &topo);
+    c.bench_function("resource_monitor_assign_release", |b| {
+        let mut counters = CuKernelCounters::new(topo);
+        b.iter(|| {
+            counters.assign(black_box(&mask));
+            counters.release(black_box(&mask));
+        });
+    });
+}
+
+criterion_group!(benches, bench_mask_generation, bench_counter_update);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Cost of the offline profiling pass — the installation-time work that
+//! populates the Required-CUs table (§IV-B).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use krisp::Profiler;
+use krisp_models::{generate_trace, ModelKind, TraceConfig};
+use krisp_sim::KernelDesc;
+
+fn bench_profile_kernel(c: &mut Criterion) {
+    let profiler = Profiler::default();
+    let mut group = c.benchmark_group("profile_kernel");
+    group.sample_size(20);
+    group.bench_function("wide_kernel", |b| {
+        let k = KernelDesc::new("probe", 6.0e7, 45);
+        b.iter(|| black_box(profiler.profile_kernel(&k)));
+    });
+    group.bench_function("narrow_kernel", |b| {
+        let k = KernelDesc::new("probe", 6.0e6, 6);
+        b.iter(|| black_box(profiler.profile_kernel(&k)));
+    });
+    group.finish();
+}
+
+fn bench_measure_model(c: &mut Criterion) {
+    let profiler = Profiler::default();
+    let trace = generate_trace(ModelKind::Squeezenet, &TraceConfig::default());
+    let mut group = c.benchmark_group("measure_model_pass");
+    group.sample_size(20);
+    group.bench_function("squeezenet_full_gpu", |b| {
+        b.iter(|| black_box(profiler.measure_trace(&trace, 60)));
+    });
+    group.bench_function("squeezenet_15_cus", |b| {
+        b.iter(|| black_box(profiler.measure_trace(&trace, 15)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_profile_kernel, bench_measure_model);
+criterion_main!(benches);

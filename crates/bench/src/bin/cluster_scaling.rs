@@ -1,0 +1,5 @@
+//! Runs the multi-GPU scaling sweep (extension).
+fn main() {
+    let db = krisp_bench::measured_perfdb(&[32]);
+    krisp_bench::cluster_scaling::run(&db);
+}

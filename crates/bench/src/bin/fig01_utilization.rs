@@ -1,0 +1,5 @@
+//! Regenerates the Fig 1 motivation (utilization ladder).
+fn main() {
+    let db = krisp_bench::measured_perfdb(&[32]);
+    krisp_bench::fig01::run(&db);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the Fig 2 reconfiguration-responsiveness comparison.
+fn main() {
+    let db = krisp_bench::measured_perfdb(&[4, 32]);
+    krisp_bench::fig02::run(&db);
+}

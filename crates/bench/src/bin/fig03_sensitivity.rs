@@ -1,0 +1,4 @@
+//! Regenerates Fig 3 (model sensitivity to CU restriction).
+fn main() {
+    krisp_bench::fig03::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig 4 (per-kernel min-CU traces).
+fn main() {
+    krisp_bench::fig04::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig 6 (min CU vs kernel/input size scatter).
+fn main() {
+    krisp_bench::fig06::run();
+}

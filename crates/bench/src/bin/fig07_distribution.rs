@@ -1,0 +1,4 @@
+//! Regenerates Fig 7 (distribution-policy layouts).
+fn main() {
+    krisp_bench::fig07::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig 8 (kernel latency/energy vs CUs per distribution policy).
+fn main() {
+    krisp_bench::fig08::run();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the SecV-B / Fig 12 emulation-overhead accounting.
+fn main() {
+    let db = krisp_bench::measured_perfdb(&[32]);
+    krisp_bench::fig12::run(&db);
+}

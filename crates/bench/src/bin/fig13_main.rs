@@ -1,0 +1,5 @@
+//! Regenerates Fig 13a/b/c (throughput, tail latency, energy).
+fn main() {
+    let db = krisp_bench::measured_perfdb(&[32]);
+    krisp_bench::fig13::run(&db);
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig 14 (batch-size sensitivity).
+fn main() {
+    krisp_bench::fig14::run(&|b| krisp_bench::measured_perfdb(&[b]));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig 15 (mixed-model co-location).
+fn main() {
+    let db = krisp_bench::measured_perfdb(&[32]);
+    krisp_bench::fig15::run(&db);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig 16 (overlap-limit sensitivity).
+fn main() {
+    let db = krisp_bench::measured_perfdb(&[32]);
+    krisp_bench::fig16::run(&db);
+}

@@ -1,0 +1,5 @@
+//! Seed-robustness sweep of the headline comparisons.
+fn main() {
+    let db = krisp_bench::measured_perfdb(&[32]);
+    krisp_bench::robustness::run(&db);
+}

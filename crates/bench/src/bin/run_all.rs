@@ -1,0 +1,26 @@
+//! Regenerates every table and figure of the paper, in order.
+fn main() {
+    krisp_bench::tables12::run();
+    krisp_bench::fig03::run();
+    krisp_bench::table3::run();
+    krisp_bench::fig04::run();
+    krisp_bench::fig06::run();
+    krisp_bench::fig07::run();
+    krisp_bench::fig08::run();
+    let db = krisp_bench::measured_perfdb(&[32]);
+    krisp_bench::fig01::run(&db);
+    let db_fig02 = krisp_bench::measured_perfdb(&[4, 32]);
+    krisp_bench::fig02::run(&db_fig02);
+    krisp_bench::validation::run();
+    krisp_bench::fig12::run(&db);
+    krisp_bench::fig13::run(&db);
+    krisp_bench::table4::run(&db);
+    krisp_bench::fig14::run(&|b| krisp_bench::measured_perfdb(&[b]));
+    krisp_bench::fig15::run(&db);
+    krisp_bench::fig16::run(&db);
+    krisp_bench::ablation::run(&db);
+    krisp_bench::cluster_scaling::run(&db);
+    krisp_bench::robustness::run(&db);
+    krisp_bench::summary::run();
+    println!("\nall experiments regenerated; JSON results under results/");
+}

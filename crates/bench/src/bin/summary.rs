@@ -1,0 +1,4 @@
+//! Prints the fidelity digest from the cached sweep results.
+fn main() {
+    krisp_bench::summary::run();
+}

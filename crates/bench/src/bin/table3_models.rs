@@ -1,0 +1,4 @@
+//! Regenerates Table III (kernels, right-size, isolated p95).
+fn main() {
+    krisp_bench::table3::run();
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table IV (max concurrency without SLO violation).
+fn main() {
+    let db = krisp_bench::measured_perfdb(&[32]);
+    krisp_bench::table4::run(&db);
+}

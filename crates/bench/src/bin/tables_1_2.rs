@@ -1,0 +1,4 @@
+//! Prints Tables I and II (taxonomies).
+fn main() {
+    krisp_bench::tables12::run();
+}

@@ -1,0 +1,5 @@
+//! Cross-validates the fluid execution model against the discrete
+//! workgroup-level engine.
+fn main() {
+    krisp_bench::validation::run();
+}

@@ -1,0 +1,79 @@
+//! Multi-GPU scaling (extension): throughput and tail latency of a mixed
+//! workload as GPUs are added, per partitioning policy — showing KRISP's
+//! single-GPU gains compose with scale-out.
+
+use serde::{Deserialize, Serialize};
+
+use krisp::Policy;
+use krisp_models::ModelKind;
+use krisp_runtime::RequiredCusTable;
+use krisp_server::{run_cluster, ClusterConfig, Routing};
+use krisp_sim::SimDuration;
+
+use crate::{header, save_json};
+
+const MODELS: [ModelKind; 3] = [
+    ModelKind::Albert,
+    ModelKind::Squeezenet,
+    ModelKind::Resnet152,
+];
+const RPS_PER_MODEL: f64 = 120.0;
+
+/// One cluster configuration's outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Cell {
+    /// Policy on every GPU.
+    pub policy: Policy,
+    /// GPUs in the cluster.
+    pub gpus: usize,
+    /// Served requests per second.
+    pub rps: f64,
+    /// p95 end-to-end latency, ms.
+    pub p95_ms: f64,
+    /// Energy per served request, joules.
+    pub energy_per_request_j: f64,
+}
+
+/// Runs the scaling sweep.
+pub fn run(perfdb: &RequiredCusTable) -> Vec<Cell> {
+    header("Cluster scaling (extension): mixed load vs GPU count");
+    println!(
+        "(albert + squeezenet + resnet152 at {RPS_PER_MODEL} req/s each, least-outstanding routing)\n"
+    );
+    let jobs: Vec<(Policy, usize)> = [Policy::StaticEqual, Policy::KrispI]
+        .into_iter()
+        .flat_map(|p| [1usize, 2, 4].into_iter().map(move |g| (p, g)))
+        .collect();
+    let cells: Vec<Cell> = crate::parallel_map(jobs, |(policy, gpus)| {
+        let mut cfg = ClusterConfig::new(gpus, MODELS.to_vec(), RPS_PER_MODEL);
+        cfg.policy = policy;
+        cfg.routing = Routing::LeastOutstanding;
+        cfg.horizon = SimDuration::from_secs(4);
+        let r = run_cluster(&cfg, perfdb);
+        Cell {
+            policy,
+            gpus,
+            rps: r.rps,
+            p95_ms: r.p95_ms,
+            energy_per_request_j: r.energy_j / r.completed.max(1) as f64,
+        }
+    });
+    println!(
+        "{:<14} {:>5} {:>10} {:>10} {:>8}",
+        "policy", "GPUs", "served/s", "p95 ms", "J/req"
+    );
+    for c in &cells {
+        println!(
+            "{:<14} {:>5} {:>10.0} {:>10.1} {:>8.2}",
+            c.policy.name(),
+            c.gpus,
+            c.rps,
+            c.p95_ms,
+            c.energy_per_request_j
+        );
+    }
+    save_json("cluster_scaling.json", &cells);
+    println!("\nshape check: under saturation KRISP-I serves more per GPU, so it needs");
+    println!("fewer devices to meet the offered load at a sane tail.");
+    cells
+}

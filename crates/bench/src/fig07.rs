@@ -1,0 +1,25 @@
+//! Fig 7 — illustrative CU-distribution layouts: 19 CUs across 4 shader
+//! engines under the three policies.
+
+use krisp::{select_cus, DistributionPolicy};
+use krisp_sim::GpuTopology;
+
+use crate::header;
+
+/// Prints the Fig 7 illustration as ASCII SE maps.
+pub fn run() {
+    header("Fig 7: allocating 19 CUs across 4 SEs under three distribution policies");
+    let topo = GpuTopology::MI50;
+    for policy in DistributionPolicy::ALL {
+        let mask = select_cus(policy, 19, &topo);
+        println!("\n{policy}:");
+        for se in topo.ses() {
+            let row: String = topo
+                .cus_in_se(se)
+                .map(|cu| if mask.contains(cu) { '#' } else { '.' })
+                .collect();
+            println!("  {se}: {row}  ({} CUs)", mask.count_in_se(&topo, se));
+        }
+    }
+    println!("\nshape check: packed = 15+4, distributed = 5+5+5+4, conserved = 10+9.");
+}

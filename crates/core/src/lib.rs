@@ -1,0 +1,53 @@
+//! # krisp — Kernel-wise RIght-sizing for Spatial Partitioned GPU
+//! inference servers
+//!
+//! Reproduction of the HPCA 2023 paper's core contribution. KRISP makes
+//! two moves:
+//!
+//! 1. **Kernel-wise right-sizing** (§IV-B): every kernel call is
+//!    intercepted in the GPU runtime and annotated with its *minimum
+//!    required CUs*, looked up from an offline profile database
+//!    (built here by the [`Profiler`], stored in the runtime's
+//!    [`krisp_runtime::RequiredCusTable`]).
+//! 2. **Kernel-scoped partition instances** (§IV-C/D): the GPU's packet
+//!    processor turns that request into a concrete CU mask with
+//!    [`KrispAllocator`] — the paper's Algorithm 1 — balancing partitions
+//!    across shader engines with the *Conserved* distribution policy and
+//!    bounding inter-kernel CU sharing with an **overlap limit**
+//!    (`0` = KRISP-I isolation, `total CUs` = KRISP-O oversubscription).
+//!
+//! The crate also implements the baseline spatial-partitioning policies
+//! the paper compares against ([`Policy`]) and the CU-distribution study
+//! of Fig 7/8 ([`DistributionPolicy`]).
+//!
+//! ```rust
+//! use krisp::{KrispAllocator, DistributionPolicy, select_cus};
+//! use krisp_sim::{CuKernelCounters, GpuTopology, MaskAllocator};
+//!
+//! let topo = GpuTopology::MI50;
+//! // Fig 7: 19 CUs under Conserved -> 2 SEs, split 10 + 9.
+//! let mask = select_cus(DistributionPolicy::Conserved, 19, &topo);
+//! assert_eq!(mask.count(), 19);
+//!
+//! // Algorithm 1 on an idle device grants the request in full.
+//! let counters = CuKernelCounters::new(topo);
+//! let mut alloc = KrispAllocator::isolated();
+//! assert_eq!(alloc.allocate(19, &counters, &topo).count(), 19);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alloc;
+pub mod distribution;
+pub mod policy;
+pub mod profiler;
+pub mod rightsize;
+pub mod tuner;
+
+pub use alloc::KrispAllocator;
+pub use distribution::{select_cus, DistributionPolicy};
+pub use policy::{assign_model_partitions, prior_work_partitions, static_equal_masks, Policy};
+pub use profiler::{KernelProfile, ModelCurve, Profiler};
+pub use rightsize::{knee_from_curve, KNEE_TOLERANCE};
+pub use tuner::{crossovers, tune_at_budget, tune_curve, TunableOp, TuningChoice};

@@ -1,0 +1,319 @@
+//! The five spatial-partitioning policies of the evaluation (§VI-A).
+//!
+//! * **MPS Default** — concurrent kernels share the whole device with no
+//!   restriction (AMD's native concurrency / Nvidia MPS without limits).
+//! * **Static Equal** — each worker gets an equal, non-overlapping CU
+//!   partition.
+//! * **Model Right-Size** — each worker gets its model's profiled
+//!   kneepoint partition (the upper bound for GSLICE/Gpulet/PARIS-style
+//!   servers); partitions overlap when they don't fit.
+//! * **KRISP-O** — kernel-scoped partitions with unlimited CU
+//!   oversubscription.
+//! * **KRISP-I** — kernel-scoped partitions with isolation (no
+//!   oversubscription; kernels shrink instead).
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use krisp_sim::{CuKernelCounters, CuMask, GpuTopology, MaskAllocator};
+
+use crate::alloc::KrispAllocator;
+
+/// One of the evaluation's five spatial-partitioning policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Policy {
+    /// No restriction; everyone shares all CUs.
+    MpsDefault,
+    /// Equal disjoint partitions per worker.
+    StaticEqual,
+    /// Model-wise kneepoint partitions (prior work's upper bound).
+    ModelRightSize,
+    /// KRISP with oversubscription allowed.
+    KrispO,
+    /// KRISP with isolation enforced.
+    KrispI,
+}
+
+impl Policy {
+    /// All five policies in the paper's presentation order.
+    pub const ALL: [Policy; 5] = [
+        Policy::MpsDefault,
+        Policy::StaticEqual,
+        Policy::ModelRightSize,
+        Policy::KrispO,
+        Policy::KrispI,
+    ];
+
+    /// The policy's name as the paper prints it.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Policy::MpsDefault => "mps-default",
+            Policy::StaticEqual => "static-equal",
+            Policy::ModelRightSize => "model-right-size",
+            Policy::KrispO => "krisp-o",
+            Policy::KrispI => "krisp-i",
+        }
+    }
+
+    /// Whether this policy needs kernel-scoped partition instances
+    /// (KRISP hardware); the rest run on stream-scoped masking.
+    pub fn is_kernel_scoped(&self) -> bool {
+        matches!(self, Policy::KrispO | Policy::KrispI)
+    }
+
+    /// The Algorithm 1 overlap limit for the kernel-scoped policies
+    /// (`None` for the stream-masking policies).
+    pub fn overlap_limit(&self, topo: &GpuTopology) -> Option<u16> {
+        match self {
+            Policy::KrispO => Some(topo.total_cus()),
+            Policy::KrispI => Some(0),
+            _ => None,
+        }
+    }
+
+    /// The Algorithm 1 allocator for the kernel-scoped policies.
+    pub fn allocator(&self, topo: &GpuTopology) -> Option<KrispAllocator> {
+        self.overlap_limit(topo).map(KrispAllocator::new)
+    }
+}
+
+impl fmt::Display for Policy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error parsing a policy name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePolicyError(String);
+
+impl fmt::Display for ParsePolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown policy `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParsePolicyError {}
+
+impl FromStr for Policy {
+    type Err = ParsePolicyError;
+    fn from_str(s: &str) -> Result<Policy, ParsePolicyError> {
+        Policy::ALL
+            .into_iter()
+            .find(|p| p.name() == s)
+            .ok_or_else(|| ParsePolicyError(s.to_string()))
+    }
+}
+
+/// Assigns one model-wise partition per worker, sized by `sizes`, packing
+/// partitions onto the least-loaded SEs/CUs in turn (Algorithm 1 with
+/// unlimited overlap, seeded with the previously placed partitions).
+/// Partitions are disjoint whenever they fit on the device and overlap
+/// the least-loaded CUs otherwise.
+///
+/// This is the *placement-aware* (Conserved) variant a KRISP-style
+/// allocator would produce for whole-model partitions. The policies that
+/// model prior works use [`prior_work_partitions`] instead, because
+/// MPS-style GPU% partitioning cannot steer placement.
+///
+/// # Examples
+///
+/// ```
+/// use krisp::assign_model_partitions;
+/// use krisp_sim::GpuTopology;
+///
+/// let topo = GpuTopology::MI50;
+/// let masks = assign_model_partitions(&[15, 15, 15, 15], &topo);
+/// // Four 15-CU workers tile the device disjointly.
+/// for (i, a) in masks.iter().enumerate() {
+///     assert_eq!(a.count(), 15);
+///     for b in &masks[i + 1..] {
+///         assert!(!a.intersects(b));
+///     }
+/// }
+/// ```
+///
+/// # Panics
+///
+/// Panics if any size is zero.
+pub fn assign_model_partitions(sizes: &[u16], topo: &GpuTopology) -> Vec<CuMask> {
+    let mut counters = CuKernelCounters::new(*topo);
+    let mut alloc = KrispAllocator::oversubscribed(topo);
+    sizes
+        .iter()
+        .map(|&n| {
+            assert!(n > 0, "a worker partition needs at least one CU");
+            let mask = alloc.allocate(n, &counters, topo);
+            counters.assign(&mask);
+            mask
+        })
+        .collect()
+}
+
+/// Partitions as the prior-work servers (GSLICE/Gpulet/PARIS-style)
+/// obtain them: consecutive slices of the hardware's **default
+/// round-robin CU order** (the *Distributed* layout, §IV-C1). MPS GPU%
+/// and MIG instance sizing pick a partition *size* but cannot steer
+/// *placement*, so each partition ends up spread across all shader
+/// engines and pays the Fig 8 imbalance penalty — one of the gaps KRISP's
+/// Conserved allocation closes. Slices wrap around (overlapping earlier
+/// partitions) when the requested sizes oversubscribe the device.
+///
+/// # Examples
+///
+/// ```
+/// use krisp::prior_work_partitions;
+/// use krisp_sim::{GpuTopology, SeId};
+///
+/// let topo = GpuTopology::MI50;
+/// let masks = prior_work_partitions(&[15, 15, 15, 15], &topo);
+/// // Each 15-CU slice is scattered 4+4+4+3 over the SEs.
+/// let layout: Vec<u16> = topo.ses().map(|se| masks[0].count_in_se(&topo, se)).collect();
+/// assert_eq!(layout.iter().sum::<u16>(), 15);
+/// assert!(layout.iter().all(|&c| c >= 3));
+/// ```
+///
+/// # Panics
+///
+/// Panics if any size is zero or exceeds the device.
+pub fn prior_work_partitions(sizes: &[u16], topo: &GpuTopology) -> Vec<CuMask> {
+    let total = topo.total_cus();
+    // The hardware-default dispatch order: round-robin across SEs.
+    let order: Vec<_> = (0..total)
+        .map(|i| {
+            let se = krisp_sim::SeId((i % topo.num_ses() as u16) as u8);
+            let idx = (i / topo.num_ses() as u16) as u8;
+            topo.cu_at(se, idx)
+        })
+        .collect();
+    let mut pos: usize = 0;
+    sizes
+        .iter()
+        .map(|&n| {
+            assert!(n > 0, "a worker partition needs at least one CU");
+            assert!(n <= total, "partition larger than the device");
+            let mask: CuMask = (0..n as usize)
+                .map(|k| order[(pos + k) % order.len()])
+                .collect();
+            pos += n as usize;
+            mask
+        })
+        .collect()
+}
+
+/// Equal-sized disjoint partitions for `workers` workers — the *Static
+/// Equal* policy, placed the way prior works could (hardware-default
+/// round-robin order; see [`prior_work_partitions`]). Each worker gets
+/// `total / workers` CUs (at least one).
+///
+/// # Panics
+///
+/// Panics if `workers` is zero or exceeds the CU count.
+pub fn static_equal_masks(workers: usize, topo: &GpuTopology) -> Vec<CuMask> {
+    assert!(workers > 0, "need at least one worker");
+    assert!(
+        workers <= topo.total_cus() as usize,
+        "more workers than CUs"
+    );
+    let per = (topo.total_cus() as usize / workers).max(1) as u16;
+    prior_work_partitions(&vec![per; workers], topo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> GpuTopology {
+        GpuTopology::MI50
+    }
+
+    #[test]
+    fn policy_names_parse_round_trip() {
+        for p in Policy::ALL {
+            assert_eq!(p.name().parse::<Policy>().unwrap(), p);
+        }
+        assert!("gslice".parse::<Policy>().is_err());
+    }
+
+    #[test]
+    fn kernel_scoped_flags_and_limits() {
+        let t = topo();
+        assert!(!Policy::MpsDefault.is_kernel_scoped());
+        assert!(Policy::KrispI.is_kernel_scoped());
+        assert_eq!(Policy::KrispO.overlap_limit(&t), Some(60));
+        assert_eq!(Policy::KrispI.overlap_limit(&t), Some(0));
+        assert_eq!(Policy::StaticEqual.overlap_limit(&t), None);
+        assert!(Policy::KrispI.allocator(&t).is_some());
+        assert!(Policy::ModelRightSize.allocator(&t).is_none());
+    }
+
+    #[test]
+    fn static_equal_two_workers_split_in_half() {
+        let t = topo();
+        let masks = static_equal_masks(2, &t);
+        assert_eq!(masks.len(), 2);
+        assert_eq!(masks[0].count(), 30);
+        assert_eq!(masks[1].count(), 30);
+        assert!(!masks[0].intersects(&masks[1]));
+    }
+
+    #[test]
+    fn prior_work_partitions_are_scattered_across_ses() {
+        let t = topo();
+        let masks = prior_work_partitions(&[15; 4], &t);
+        for m in &masks {
+            // Hardware-default placement spreads every slice over all SEs.
+            assert_eq!(m.used_ses(&t).len(), 4);
+        }
+        // Still disjoint when they fit.
+        for i in 0..4 {
+            for j in i + 1..4 {
+                assert!(!masks[i].intersects(&masks[j]));
+            }
+        }
+    }
+
+    #[test]
+    fn prior_work_partitions_wrap_with_overlap_when_oversubscribed() {
+        let t = topo();
+        let masks = prior_work_partitions(&[55, 55], &t);
+        assert_eq!(masks[0].count(), 55);
+        assert_eq!(masks[1].count(), 55);
+        assert!(masks[0].intersects(&masks[1]));
+        assert_eq!((masks[0] & masks[1]).count(), 50);
+    }
+
+    #[test]
+    fn model_partitions_fit_disjointly_when_possible() {
+        let t = topo();
+        let masks = assign_model_partitions(&[26, 26], &t); // 2x resnet152
+        assert!(!masks[0].intersects(&masks[1]));
+        assert_eq!(masks[0].count(), 26);
+    }
+
+    #[test]
+    fn model_partitions_overlap_when_oversubscribed() {
+        let t = topo();
+        let masks = assign_model_partitions(&[55, 55], &t); // 2x resnext101
+        assert_eq!(masks[0].count(), 55);
+        assert_eq!(masks[1].count(), 55);
+        assert!(masks[0].intersects(&masks[1]));
+        // Overlap is minimized: 110 CUs on 60 leaves exactly 50 shared.
+        assert_eq!((masks[0] & masks[1]).count(), 50);
+    }
+
+    #[test]
+    fn single_worker_gets_whole_device_under_static_equal() {
+        let t = topo();
+        let masks = static_equal_masks(1, &t);
+        assert_eq!(masks[0].count(), 60);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one CU")]
+    fn zero_sized_partition_rejected() {
+        assign_model_partitions(&[0], &topo());
+    }
+}

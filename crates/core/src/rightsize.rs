@@ -1,0 +1,95 @@
+//! Knee-point (right-size) detection on resource-latency curves.
+//!
+//! The paper defines a kernel's right-size as "the least number of CUs
+//! that have the same latency as a kernel utilizing the full GPU"
+//! (§IV-B), and prior model-wise works use the analogous kneepoint of the
+//! model's curve. "Same latency" is interpreted with a small relative
+//! tolerance, [`KNEE_TOLERANCE`].
+
+use krisp_sim::SimDuration;
+
+/// Relative latency tolerance for "same as full GPU". Shared with the
+/// workload generators so calibrated knees land on Table III.
+pub use krisp_models::tracegen::KNEE_TOLERANCE;
+
+/// Finds the knee of a latency curve: the least CU count whose latency is
+/// within `tolerance` of the full-resource latency (the curve's last
+/// point).
+///
+/// `curve` must be sorted by ascending CU count; the last entry is taken
+/// as the full-GPU reference.
+///
+/// # Examples
+///
+/// ```
+/// use krisp::knee_from_curve;
+/// use krisp_sim::SimDuration;
+///
+/// let ms = SimDuration::from_millis;
+/// let curve = vec![(10, ms(40)), (20, ms(20)), (30, ms(10)), (60, ms(10))];
+/// assert_eq!(knee_from_curve(&curve, 0.01), 30);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the curve is empty, unsorted, or `tolerance` is negative.
+pub fn knee_from_curve(curve: &[(u16, SimDuration)], tolerance: f64) -> u16 {
+    assert!(!curve.is_empty(), "cannot find the knee of an empty curve");
+    assert!(tolerance >= 0.0, "tolerance must be non-negative");
+    assert!(
+        curve.windows(2).all(|w| w[0].0 < w[1].0),
+        "curve must be sorted by ascending CU count"
+    );
+    let full = curve.last().expect("non-empty").1.as_nanos() as f64;
+    let limit = full * (1.0 + tolerance);
+    curve
+        .iter()
+        .find(|(_, lat)| (lat.as_nanos() as f64) <= limit)
+        .map(|&(cus, _)| cus)
+        .expect("the last point always satisfies the tolerance")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn finds_first_point_within_tolerance() {
+        let curve = vec![(1, ms(100)), (2, ms(50)), (4, ms(25)), (8, ms(25)), (60, ms(25))];
+        assert_eq!(knee_from_curve(&curve, 0.01), 4);
+    }
+
+    #[test]
+    fn tolerance_loosens_the_knee() {
+        let curve = vec![(10, ms(11)), (20, ms(10)), (60, ms(10))];
+        assert_eq!(knee_from_curve(&curve, 0.0), 20);
+        assert_eq!(knee_from_curve(&curve, 0.15), 10);
+    }
+
+    #[test]
+    fn flat_curve_knees_at_first_point() {
+        let curve = vec![(5, ms(10)), (60, ms(10))];
+        assert_eq!(knee_from_curve(&curve, 0.01), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty curve")]
+    fn empty_curve_rejected() {
+        knee_from_curve(&[], 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_curve_rejected() {
+        knee_from_curve(&[(10, ms(1)), (5, ms(2))], 0.01);
+    }
+
+    #[test]
+    fn shared_tolerance_is_one_percent() {
+        assert_eq!(KNEE_TOLERANCE, 0.01);
+    }
+}

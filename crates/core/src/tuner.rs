@@ -1,0 +1,176 @@
+//! Partition-aware kernel-variant selection.
+//!
+//! GPU libraries ship several implementations of the same operation
+//! (Winograd / FFT / direct convolution, tiled GEMM geometries, …) and
+//! use their performance database to pick the fastest "given certain
+//! runtime parameters" (§IV-B). KRISP adds a new runtime parameter the
+//! stock tuners ignore: the **partition size**. A Winograd kernel that
+//! wins on the full device can lose to a less-parallel direct kernel
+//! inside a 10-CU partition — so a KRISP-aware library should tune *per
+//! CU budget*, and the Required-CUs table already has the key structure
+//! to hold the result.
+
+use krisp_sim::{KernelDesc, SimDuration};
+
+use crate::profiler::Profiler;
+
+/// An operation with several interchangeable kernel implementations
+/// (identical math, different work/parallelism trade-offs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TunableOp {
+    /// Operation name (e.g. `conv2d_3x3_s1`).
+    pub name: String,
+    /// Candidate implementations.
+    pub variants: Vec<KernelDesc>,
+}
+
+impl TunableOp {
+    /// Creates an op from its candidate kernels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no variant is supplied.
+    pub fn new(name: impl Into<String>, variants: Vec<KernelDesc>) -> TunableOp {
+        assert!(!variants.is_empty(), "an op needs at least one variant");
+        TunableOp {
+            name: name.into(),
+            variants,
+        }
+    }
+}
+
+/// The tuner's verdict for one CU budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuningChoice {
+    /// CU budget the choice applies to.
+    pub cu_budget: u16,
+    /// Index of the winning variant in [`TunableOp::variants`].
+    pub variant: usize,
+    /// The winner's measured latency at this budget.
+    pub latency: SimDuration,
+}
+
+/// Measures every variant of `op` under a Conserved restriction to
+/// `cu_budget` CUs and returns the fastest — the per-partition tuning
+/// pass a KRISP-aware library would run at installation time.
+///
+/// # Examples
+///
+/// ```
+/// use krisp::{tune_at_budget, Profiler, TunableOp};
+/// use krisp_sim::KernelDesc;
+///
+/// let op = TunableOp::new(
+///     "conv",
+///     vec![
+///         KernelDesc::new("winograd", 6.0e6, 60), // fastest on the full GPU
+///         KernelDesc::new("direct", 1.8e6, 12),   // less work-efficient? no:
+///                                                 // fewer CUs, less total work
+///     ],
+/// );
+/// let p = Profiler::default();
+/// assert_eq!(tune_at_budget(&p, &op, 60).variant, 0);
+/// assert_eq!(tune_at_budget(&p, &op, 8).variant, 1);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `cu_budget` is zero or exceeds the profiler's device.
+pub fn tune_at_budget(profiler: &Profiler, op: &TunableOp, cu_budget: u16) -> TuningChoice {
+    assert!(
+        cu_budget >= 1 && cu_budget <= profiler.topology.total_cus(),
+        "budget {cu_budget} out of range"
+    );
+    let (variant, latency) = op
+        .variants
+        .iter()
+        .map(|k| profiler.measure_trace(std::slice::from_ref(k), cu_budget))
+        .enumerate()
+        .min_by_key(|&(i, lat)| (lat, i))
+        .expect("at least one variant");
+    TuningChoice {
+        cu_budget,
+        variant,
+        latency,
+    }
+}
+
+/// Tunes an op across every CU budget, returning one choice per budget —
+/// the full per-partition column of a KRISP-aware performance database.
+pub fn tune_curve(profiler: &Profiler, op: &TunableOp) -> Vec<TuningChoice> {
+    (1..=profiler.topology.total_cus())
+        .map(|n| tune_at_budget(profiler, op, n))
+        .collect()
+}
+
+/// The budgets at which the winning variant changes (crossover points),
+/// as `(budget, old_variant, new_variant)`.
+pub fn crossovers(curve: &[TuningChoice]) -> Vec<(u16, usize, usize)> {
+    curve
+        .windows(2)
+        .filter(|w| w[0].variant != w[1].variant)
+        .map(|w| (w[1].cu_budget, w[0].variant, w[1].variant))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A conv op with the classic trade-off: Winograd does the least
+    /// total work but is compute-bound (no bandwidth floor), so deep CU
+    /// restriction hurts it linearly; the FFT variant does more work but
+    /// is DRAM-bound (floor 0.5), so a tight partition barely slows it.
+    fn conv_op() -> TunableOp {
+        TunableOp::new(
+            "conv2d_3x3",
+            vec![
+                KernelDesc::new("winograd", 6.0e6, 60),
+                KernelDesc::new("fft", 6.6e6, 24).with_bandwidth_floor(0.5),
+                KernelDesc::new("direct", 9.0e6, 10).with_bandwidth_floor(0.8),
+            ],
+        )
+    }
+
+    #[test]
+    fn full_device_prefers_the_work_efficient_variant() {
+        let p = Profiler::default();
+        assert_eq!(tune_at_budget(&p, &conv_op(), 60).variant, 0);
+    }
+
+    #[test]
+    fn tight_partitions_flip_the_choice() {
+        let p = Profiler::default();
+        let curve = tune_curve(&p, &conv_op());
+        // Small budgets must not pick Winograd: its floor still charges
+        // full work while FFT/direct do less effective waiting.
+        let small = &curve[7]; // 8 CUs
+        assert_ne!(small.variant, 0, "winograd should lose at 8 CUs");
+        // And there is at least one crossover on the way up.
+        assert!(!crossovers(&curve).is_empty());
+    }
+
+    #[test]
+    fn curve_latencies_never_increase_with_budget_beyond_steps() {
+        let p = Profiler::default();
+        let curve = tune_curve(&p, &conv_op());
+        // Tuned latency at 60 CUs is the global best.
+        let last = curve.last().expect("non-empty").latency;
+        assert!(curve.iter().all(|c| c.latency >= last));
+    }
+
+    #[test]
+    fn single_variant_always_wins() {
+        let p = Profiler::default();
+        let op = TunableOp::new("id", vec![KernelDesc::new("only", 1.0e6, 20)]);
+        for n in [1u16, 30, 60] {
+            assert_eq!(tune_at_budget(&p, &op, n).variant, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one variant")]
+    fn empty_ops_rejected() {
+        TunableOp::new("none", vec![]);
+    }
+}

@@ -1,0 +1,112 @@
+//! The paper's published per-model numbers (Table III), kept as ground
+//! truth for calibration tests and for the *Model Right-Size* policy.
+
+use serde::{Deserialize, Serialize};
+
+use crate::zoo::ModelKind;
+
+/// One row of the paper's Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PaperProfile {
+    /// The model.
+    pub kind: ModelKind,
+    /// Kernel calls per inference pass (batch 32).
+    pub kernel_count: usize,
+    /// Model-wise right-sized partition in CUs.
+    pub right_size_cus: u16,
+    /// Isolated 95 % tail latency in milliseconds (batch 32, full GPU).
+    pub p95_ms: f64,
+}
+
+/// The paper's Table III, verbatim.
+pub const PAPER_TABLE3: [PaperProfile; 8] = [
+    PaperProfile {
+        kind: ModelKind::Albert,
+        kernel_count: 304,
+        right_size_cus: 12,
+        p95_ms: 27.0,
+    },
+    PaperProfile {
+        kind: ModelKind::Alexnet,
+        kernel_count: 34,
+        right_size_cus: 45,
+        p95_ms: 91.0,
+    },
+    PaperProfile {
+        kind: ModelKind::Densenet201,
+        kernel_count: 711,
+        right_size_cus: 32,
+        p95_ms: 72.0,
+    },
+    PaperProfile {
+        kind: ModelKind::Resnet152,
+        kernel_count: 517,
+        right_size_cus: 26,
+        p95_ms: 11.0,
+    },
+    PaperProfile {
+        kind: ModelKind::Resnext101,
+        kernel_count: 347,
+        right_size_cus: 55,
+        p95_ms: 154.0,
+    },
+    PaperProfile {
+        kind: ModelKind::Shufflenet,
+        kernel_count: 211,
+        right_size_cus: 21,
+        p95_ms: 8.0,
+    },
+    PaperProfile {
+        kind: ModelKind::Squeezenet,
+        kernel_count: 90,
+        right_size_cus: 21,
+        p95_ms: 8.0,
+    },
+    PaperProfile {
+        kind: ModelKind::Vgg19,
+        kernel_count: 62,
+        right_size_cus: 60,
+        p95_ms: 81.0,
+    },
+];
+
+/// The Table III row for a model.
+///
+/// # Examples
+///
+/// ```
+/// use krisp_models::{paper_profile, ModelKind};
+///
+/// let p = paper_profile(ModelKind::Vgg19);
+/// assert_eq!(p.right_size_cus, 60);
+/// assert_eq!(p.kernel_count, 62);
+/// ```
+pub fn paper_profile(kind: ModelKind) -> PaperProfile {
+    PAPER_TABLE3
+        .into_iter()
+        .find(|p| p.kind == kind)
+        .expect("every model has a Table III row")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_model_has_a_row() {
+        for m in ModelKind::ALL {
+            let p = paper_profile(m);
+            assert_eq!(p.kind, m);
+            assert!(p.kernel_count > 0);
+            assert!(p.right_size_cus >= 1 && p.right_size_cus <= 60);
+            assert!(p.p95_ms > 0.0);
+        }
+    }
+
+    #[test]
+    fn table_matches_known_extremes() {
+        assert_eq!(paper_profile(ModelKind::Albert).right_size_cus, 12);
+        assert_eq!(paper_profile(ModelKind::Vgg19).right_size_cus, 60);
+        assert_eq!(paper_profile(ModelKind::Densenet201).kernel_count, 711);
+    }
+}

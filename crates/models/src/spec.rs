@@ -1,0 +1,269 @@
+//! Per-model kernel-class composition specs.
+//!
+//! Each model is described as a mix of **kernel classes**: groups of
+//! kernels sharing a parallelism knee (minimum required CUs), a share of
+//! the model's full-GPU compute time, and a share of the kernel count.
+//! The mixes below were derived analytically so the model-wise knee —
+//! the least CU count whose end-to-end latency stays within the profiler
+//! tolerance of the full-GPU latency, *including* per-kernel launch
+//! overhead dilution — lands on the paper's Table III right-size.
+//!
+//! The narrative properties of Fig 3/4 are also encoded: `albert` is
+//! mostly tiny kernels with rare tall spikes; `resnext101` spends 75 % of
+//! its time in ≥40-CU kernels; `vgg19` is dominated by full-device conv
+//! stacks.
+
+use serde::{Deserialize, Serialize};
+
+use crate::zoo::ModelKind;
+
+/// Functional role of a kernel class; determines the synthetic library
+/// kernel names attached to its kernels (see [`crate::library`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KernelRole {
+    /// Direct/Winograd/FFT convolution kernels.
+    Conv,
+    /// Dense matrix multiply (rocBLAS-style).
+    Gemm,
+    /// Elementwise arithmetic, activations, bias adds.
+    Elementwise,
+    /// Batch/layer normalization.
+    Norm,
+    /// Pooling.
+    Pool,
+    /// Attention score/softmax kernels (transformers).
+    Attention,
+    /// Reductions.
+    Reduce,
+}
+
+impl KernelRole {
+    /// The role's memory-bandwidth floor (see
+    /// `krisp_sim::KernelDesc::bandwidth_floor`): convolutions and GEMMs
+    /// are DRAM-bound below their knee and degrade at most ~2x under deep
+    /// CU restriction; normalization/pooling are partially bound;
+    /// elementwise streaming kernels are DRAM-bound with a lower floor.
+    pub fn bandwidth_floor(&self) -> f64 {
+        match self {
+            KernelRole::Conv | KernelRole::Gemm | KernelRole::Attention => 0.5,
+            KernelRole::Norm | KernelRole::Pool => 0.3,
+            KernelRole::Elementwise | KernelRole::Reduce => 0.25,
+        }
+    }
+
+    /// A representative library kernel symbol for this role. `variant`
+    /// selects among the role's known symbols deterministically.
+    pub fn library_name(&self, variant: usize) -> &'static str {
+        let names: &[&'static str] = match self {
+            KernelRole::Conv => &[
+                "miopenSp3AsmConv_v21_1_2_gfx9",
+                "MIOpenConvFFT_fwd_in",
+                "gfx9_f3x2_fp32_stride1_group",
+                "MIOpenCvD3x3_WSf3x2",
+                "im2col_gpu_f32",
+            ],
+            KernelRole::Gemm => &[
+                "Cijk_Ailk_Bljk_SB_MT64x64",
+                "rocblas_gemm_NT_128x128",
+                "rocblas_gemv_T_f32",
+            ],
+            KernelRole::Elementwise => &[
+                "vector_add_f32",
+                "vector_mul_f32",
+                "elementwise_relu_f32",
+                "bias_broadcast_f32",
+            ],
+            KernelRole::Norm => &[
+                "MIOpenBatchNormFwdInferSpatial",
+                "layernorm_fused_f32",
+            ],
+            KernelRole::Pool => &["pooling_max_fwd_f32", "avgpool_global_f32"],
+            KernelRole::Attention => &["attention_softmax_warp", "attention_qk_gemm"],
+            KernelRole::Reduce => &["reduce_sum_stage2_f32"],
+        };
+        names[variant % names.len()]
+    }
+}
+
+/// A group of kernels within a model sharing a parallelism knee.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KernelClass {
+    /// Functional role (names the kernels).
+    pub role: KernelRole,
+    /// Parallelism knee at batch 32 — the class's minimum required CUs.
+    pub parallelism: u16,
+    /// Fraction of the model's full-GPU *compute time* spent in this
+    /// class (sums to 1 across a model's classes).
+    pub time_share: f64,
+    /// Fraction of the model's *kernel count* in this class (sums to 1).
+    pub count_share: f64,
+}
+
+/// A model's composition: its classes plus Table III scalars.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelSpec {
+    /// Which model this describes.
+    pub kind: ModelKind,
+    /// Kernel classes, highest parallelism first.
+    pub classes: Vec<KernelClass>,
+}
+
+impl ModelSpec {
+    /// Consistency check: both share columns sum to ~1.
+    pub fn validate(&self) {
+        let t: f64 = self.classes.iter().map(|c| c.time_share).sum();
+        let c: f64 = self.classes.iter().map(|c| c.count_share).sum();
+        assert!(
+            (t - 1.0).abs() < 1e-6,
+            "{}: time shares sum to {t}",
+            self.kind
+        );
+        assert!(
+            (c - 1.0).abs() < 1e-6,
+            "{}: count shares sum to {c}",
+            self.kind
+        );
+    }
+}
+
+fn class(role: KernelRole, parallelism: u16, time_share: f64, count_share: f64) -> KernelClass {
+    KernelClass {
+        role,
+        parallelism,
+        time_share,
+        count_share,
+    }
+}
+
+/// The composition spec for a model.
+///
+/// # Examples
+///
+/// ```
+/// use krisp_models::{model_spec, ModelKind};
+///
+/// let spec = model_spec(ModelKind::Resnext101);
+/// // ResNeXt spends most of its compute in >=40-CU kernels (Fig 4).
+/// let heavy: f64 = spec
+///     .classes
+///     .iter()
+///     .filter(|c| c.parallelism >= 40)
+///     .map(|c| c.time_share)
+///     .sum();
+/// assert!(heavy > 0.7);
+/// ```
+pub fn model_spec(kind: ModelKind) -> ModelSpec {
+    use KernelRole::*;
+    let classes = match kind {
+        ModelKind::Albert => vec![
+            class(Gemm, 55, 0.0025, 0.04),
+            class(Attention, 12, 0.1000, 0.10),
+            class(Gemm, 10, 0.3000, 0.20),
+            class(Elementwise, 8, 0.3500, 0.30),
+            class(Norm, 6, 0.2475, 0.36),
+        ],
+        ModelKind::Alexnet => vec![
+            class(Conv, 60, 0.0250, 0.06),
+            class(Conv, 45, 0.5000, 0.35),
+            class(Gemm, 30, 0.3000, 0.29),
+            class(Elementwise, 12, 0.1750, 0.30),
+        ],
+        ModelKind::Densenet201 => vec![
+            class(Conv, 60, 0.0110, 0.02),
+            class(Conv, 32, 0.4200, 0.30),
+            class(Norm, 16, 0.3000, 0.33),
+            class(Elementwise, 8, 0.2690, 0.35),
+        ],
+        ModelKind::Resnet152 => vec![
+            class(Conv, 60, 0.0090, 0.02),
+            class(Conv, 26, 0.4500, 0.33),
+            class(Norm, 13, 0.3000, 0.33),
+            class(Elementwise, 6, 0.2410, 0.32),
+        ],
+        ModelKind::Resnext101 => vec![
+            class(Conv, 60, 0.1000, 0.10),
+            class(Conv, 55, 0.4000, 0.35),
+            class(Conv, 40, 0.2500, 0.25),
+            class(Norm, 20, 0.1500, 0.15),
+            class(Elementwise, 10, 0.1000, 0.15),
+        ],
+        ModelKind::Shufflenet => vec![
+            class(Conv, 60, 0.0050, 0.02),
+            class(Conv, 21, 0.4000, 0.25),
+            class(Pool, 10, 0.3000, 0.33),
+            class(Elementwise, 5, 0.2950, 0.40),
+        ],
+        ModelKind::Squeezenet => vec![
+            class(Conv, 60, 0.0055, 0.02),
+            class(Conv, 21, 0.4000, 0.25),
+            class(Norm, 12, 0.3200, 0.38),
+            class(Elementwise, 6, 0.2745, 0.35),
+        ],
+        ModelKind::Vgg19 => vec![
+            class(Conv, 60, 0.7500, 0.45),
+            class(Conv, 45, 0.1200, 0.19),
+            class(Gemm, 30, 0.0800, 0.16),
+            class(Elementwise, 10, 0.0500, 0.20),
+        ],
+    };
+    let spec = ModelSpec { kind, classes };
+    spec.validate();
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_specs_validate() {
+        for m in ModelKind::ALL {
+            model_spec(m).validate();
+        }
+    }
+
+    #[test]
+    fn knees_never_exceed_device() {
+        for m in ModelKind::ALL {
+            for c in model_spec(m).classes {
+                assert!(c.parallelism >= 1 && c.parallelism <= 60);
+            }
+        }
+    }
+
+    #[test]
+    fn albert_is_mostly_small_kernels() {
+        let spec = model_spec(ModelKind::Albert);
+        let small_count: f64 = spec
+            .classes
+            .iter()
+            .filter(|c| c.parallelism <= 12)
+            .map(|c| c.count_share)
+            .sum();
+        assert!(small_count > 0.9);
+    }
+
+    #[test]
+    fn vgg_is_dominated_by_full_device_kernels() {
+        let spec = model_spec(ModelKind::Vgg19);
+        let full: f64 = spec
+            .classes
+            .iter()
+            .filter(|c| c.parallelism == 60)
+            .map(|c| c.time_share)
+            .sum();
+        assert!(full >= 0.7);
+    }
+
+    #[test]
+    fn library_names_are_stable() {
+        assert_eq!(
+            KernelRole::Conv.library_name(1),
+            KernelRole::Conv.library_name(6)
+        );
+        assert_ne!(
+            KernelRole::Conv.library_name(0),
+            KernelRole::Conv.library_name(1)
+        );
+    }
+}

@@ -1,0 +1,120 @@
+//! The model zoo: the eight inference models evaluated in the paper.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// One of the paper's eight evaluation models (Table III), covering
+/// convolutional networks and a transformer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// ALBERT — a lite BERT transformer; highly tolerant of CU
+    /// restriction (right-size 12 CUs).
+    Albert,
+    /// AlexNet — few, large conv kernels (right-size 45 CUs).
+    Alexnet,
+    /// DenseNet-201 — the most kernel-heavy model (711 kernels/pass).
+    Densenet201,
+    /// ResNet-152 — deep residual CNN, short kernels.
+    Resnet152,
+    /// ResNeXt-101 — aggregated-transform CNN; the most CU-hungry model
+    /// (right-size 55 CUs).
+    Resnext101,
+    /// ShuffleNet v2 — mobile-efficient CNN, very tolerant.
+    Shufflenet,
+    /// SqueezeNet — small CNN.
+    Squeezenet,
+    /// VGG-19 — monolithic conv stacks needing the whole GPU
+    /// (right-size 60 CUs).
+    Vgg19,
+}
+
+impl ModelKind {
+    /// All eight models, in the paper's Table III order.
+    pub const ALL: [ModelKind; 8] = [
+        ModelKind::Albert,
+        ModelKind::Alexnet,
+        ModelKind::Densenet201,
+        ModelKind::Resnet152,
+        ModelKind::Resnext101,
+        ModelKind::Shufflenet,
+        ModelKind::Squeezenet,
+        ModelKind::Vgg19,
+    ];
+
+    /// The model's lowercase name as the paper prints it.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelKind::Albert => "albert",
+            ModelKind::Alexnet => "alexnet",
+            ModelKind::Densenet201 => "densenet201",
+            ModelKind::Resnet152 => "resnet152",
+            ModelKind::Resnext101 => "resnext101",
+            ModelKind::Shufflenet => "shufflenet",
+            ModelKind::Squeezenet => "squeezenet",
+            ModelKind::Vgg19 => "vgg19",
+        }
+    }
+
+    /// Deterministic per-model seed for trace generation.
+    pub fn seed(&self) -> u64 {
+        0x4b52_4953_5000 + *self as u64
+    }
+}
+
+impl fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing an unknown model name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseModelError(String);
+
+impl fmt::Display for ParseModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown model name `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParseModelError {}
+
+impl FromStr for ModelKind {
+    type Err = ParseModelError;
+
+    fn from_str(s: &str) -> Result<ModelKind, ParseModelError> {
+        ModelKind::ALL
+            .into_iter()
+            .find(|m| m.name() == s)
+            .ok_or_else(|| ParseModelError(s.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_models_with_unique_names() {
+        let names: std::collections::HashSet<_> =
+            ModelKind::ALL.iter().map(|m| m.name()).collect();
+        assert_eq!(names.len(), 8);
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for m in ModelKind::ALL {
+            assert_eq!(m.name().parse::<ModelKind>().unwrap(), m);
+        }
+        assert!("mobilenet".parse::<ModelKind>().is_err());
+    }
+
+    #[test]
+    fn seeds_are_distinct() {
+        let seeds: std::collections::HashSet<_> =
+            ModelKind::ALL.iter().map(|m| m.seed()).collect();
+        assert_eq!(seeds.len(), 8);
+    }
+}

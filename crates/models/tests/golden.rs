@@ -1,0 +1,62 @@
+//! Golden-fingerprint tests: the workload generators are the evaluation's
+//! ground truth, so any change to their output must be deliberate. If a
+//! mix is retuned on purpose, regenerate these constants (the test
+//! failure message prints the new value).
+
+use std::hash::{Hash, Hasher};
+
+use krisp_models::{generate_trace, ModelKind, TraceConfig};
+
+fn fingerprint(kind: ModelKind, batch: u32) -> u64 {
+    let trace = generate_trace(kind, &TraceConfig::with_batch(batch));
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    for k in &trace {
+        k.name.hash(&mut h);
+        k.work.to_bits().hash(&mut h);
+        k.parallelism.hash(&mut h);
+        k.grid_threads.hash(&mut h);
+        k.input_bytes.hash(&mut h);
+        k.bandwidth_floor.to_bits().hash(&mut h);
+    }
+    h.finish()
+}
+
+const GOLDEN: [(ModelKind, u32, u64); 16] = [
+    (ModelKind::Albert, 32, 0xad9ef47d37f93ced),
+    (ModelKind::Albert, 8, 0x384661129afd9b50),
+    (ModelKind::Alexnet, 32, 0x2033342681703c04),
+    (ModelKind::Alexnet, 8, 0xb82fb702c734c846),
+    (ModelKind::Densenet201, 32, 0x754cdd27d3d32a50),
+    (ModelKind::Densenet201, 8, 0xb07a8f4aaeb88f11),
+    (ModelKind::Resnet152, 32, 0x2a48a5d5591b4953),
+    (ModelKind::Resnet152, 8, 0x1036539b4d59d116),
+    (ModelKind::Resnext101, 32, 0x9553efda24f59c92),
+    (ModelKind::Resnext101, 8, 0x0bd5d5d3c44350bc),
+    (ModelKind::Shufflenet, 32, 0xe50460e018f563d6),
+    (ModelKind::Shufflenet, 8, 0x4fa8b93548643837),
+    (ModelKind::Squeezenet, 32, 0x9b6d70a5c843203e),
+    (ModelKind::Squeezenet, 8, 0x6d04fd1b744b0bde),
+    (ModelKind::Vgg19, 32, 0x1e18d05be08651b8),
+    (ModelKind::Vgg19, 8, 0xbce839e6d7491df8),
+];
+
+#[test]
+fn trace_fingerprints_are_stable() {
+    for (kind, batch, expected) in GOLDEN {
+        let got = fingerprint(kind, batch);
+        assert_eq!(
+            got, expected,
+            "{kind} at batch {batch}: fingerprint 0x{got:016x} changed — if the \
+             workload mix was retuned on purpose, update GOLDEN and re-verify \
+             the Table III calibration tests"
+        );
+    }
+}
+
+#[test]
+fn fingerprints_differ_across_models_and_batches() {
+    let mut seen = std::collections::HashSet::new();
+    for (kind, batch, v) in GOLDEN {
+        assert!(seen.insert(v), "collision at {kind} b{batch}");
+    }
+}

@@ -1,0 +1,67 @@
+//! Property tests over the workload generators: for *any* batch size the
+//! traces must stay structurally sound.
+
+use proptest::prelude::*;
+
+use krisp_models::{analytic_latency, generate_trace, paper_profile, ModelKind, TraceConfig};
+use krisp_sim::SimDuration;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn traces_are_structurally_sound_for_any_batch(
+        model_idx in 0usize..8,
+        batch in 1u32..=64,
+    ) {
+        let kind = ModelKind::ALL[model_idx];
+        let trace = generate_trace(kind, &TraceConfig::with_batch(batch));
+        // Kernel count is a property of the model, not the batch.
+        prop_assert_eq!(trace.len(), paper_profile(kind).kernel_count);
+        for k in &trace {
+            prop_assert!(k.work > 0.0 && k.work.is_finite());
+            prop_assert!(k.parallelism >= 1 && k.parallelism <= 60);
+            prop_assert!((0.0..=1.0).contains(&k.bandwidth_floor));
+            prop_assert!(!k.name.is_empty());
+            prop_assert!(k.grid_threads > 0);
+            prop_assert!(k.input_bytes > 0);
+        }
+    }
+
+    #[test]
+    fn analytic_latency_monotone_in_cus_for_any_batch(
+        model_idx in 0usize..8,
+        batch in 1u32..=64,
+    ) {
+        let kind = ModelKind::ALL[model_idx];
+        let trace = generate_trace(kind, &TraceConfig::with_batch(batch));
+        let o = SimDuration::from_micros(5);
+        let mut prev = analytic_latency(&trace, 1, o);
+        for n in 2..=60u16 {
+            let t = analytic_latency(&trace, n, o);
+            prop_assert!(t <= prev, "{kind} b{batch}: latency rose at {n} CUs");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn work_scales_monotonically_with_batch(model_idx in 0usize..8) {
+        let kind = ModelKind::ALL[model_idx];
+        let mut prev = 0.0f64;
+        for batch in [1u32, 2, 4, 8, 16, 32, 64] {
+            let total: f64 = generate_trace(kind, &TraceConfig::with_batch(batch))
+                .iter()
+                .map(|k| k.work)
+                .sum();
+            prop_assert!(total > prev, "{kind}: total work fell at batch {batch}");
+            prev = total;
+        }
+    }
+
+    #[test]
+    fn generation_is_pure(model_idx in 0usize..8, batch in 1u32..=64) {
+        let kind = ModelKind::ALL[model_idx];
+        let cfg = TraceConfig::with_batch(batch);
+        prop_assert_eq!(generate_trace(kind, &cfg), generate_trace(kind, &cfg));
+    }
+}

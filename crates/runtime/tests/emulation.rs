@@ -1,0 +1,154 @@
+//! Integration tests of the runtime's emulation path against the native
+//! path, using real model traces — the §V methodology exercised end to
+//! end.
+
+use krisp_models::{generate_trace, ModelKind, TraceConfig};
+use krisp_runtime::{
+    EmulationCosts, PartitionMode, RequiredCusTable, RtEvent, Runtime, RuntimeConfig,
+};
+use krisp_sim::{CuKernelCounters, CuMask, GpuTopology, MaskAllocator, SimDuration};
+
+/// A simple right-sizing allocator for tests: conserved-prefix masks.
+#[derive(Debug)]
+struct PrefixAllocator;
+
+impl MaskAllocator for PrefixAllocator {
+    fn allocate(
+        &mut self,
+        requested: u16,
+        _counters: &CuKernelCounters,
+        topo: &GpuTopology,
+    ) -> CuMask {
+        CuMask::first_n(requested.max(1), topo)
+    }
+}
+
+fn oracle_db(kind: ModelKind) -> RequiredCusTable {
+    generate_trace(kind, &TraceConfig::default())
+        .into_iter()
+        .map(|k| {
+            let p = k.parallelism;
+            (k, p)
+        })
+        .collect()
+}
+
+fn run_trace(kind: ModelKind, mode: PartitionMode, db: &RequiredCusTable) -> (u64, Vec<u16>) {
+    let mut rt = Runtime::new(RuntimeConfig {
+        mode,
+        allocator: Box::new(PrefixAllocator),
+        perfdb: db.clone(),
+        jitter_sigma: 0.0,
+        ..RuntimeConfig::default()
+    });
+    let s = rt.create_stream();
+    for (i, k) in generate_trace(kind, &TraceConfig::default()).iter().enumerate() {
+        rt.launch(s, k.clone(), i as u64);
+    }
+    let mut masks = Vec::new();
+    while let Some(ev) = rt.step() {
+        if let RtEvent::KernelStarted { mask, .. } = ev {
+            masks.push(mask.count());
+        }
+    }
+    (rt.now().as_nanos(), masks)
+}
+
+#[test]
+fn emulated_and_native_enforce_identical_masks() {
+    // The emulation behaviourally models kernel-scoped partitions: the
+    // per-kernel masks must be exactly those the native path enforces —
+    // only the timing differs.
+    let db = oracle_db(ModelKind::Squeezenet);
+    let (t_native, masks_native) =
+        run_trace(ModelKind::Squeezenet, PartitionMode::KernelScopedNative, &db);
+    let (t_emulated, masks_emulated) = run_trace(
+        ModelKind::Squeezenet,
+        PartitionMode::KernelScopedEmulated(EmulationCosts::default()),
+        &db,
+    );
+    assert_eq!(masks_native, masks_emulated);
+    assert!(t_emulated > t_native);
+    // The timing gap is exactly (callback + ioctl - mask_generation) per
+    // kernel: the emulation pays 30 us in the runtime while native pays
+    // 1 us in the packet processor.
+    let per_kernel_gap = (t_emulated - t_native) / masks_native.len() as u64;
+    assert_eq!(per_kernel_gap, 30_000 - 1_000);
+}
+
+#[test]
+fn emulation_masks_track_the_kernel_sequence() {
+    // Per-kernel masks under emulation must follow the trace's
+    // parallelism sequence (each queue-mask rewrite lands before its
+    // kernel).
+    let db = oracle_db(ModelKind::Albert);
+    let trace = generate_trace(ModelKind::Albert, &TraceConfig::default());
+    let (_, masks) = run_trace(
+        ModelKind::Albert,
+        PartitionMode::KernelScopedEmulated(EmulationCosts::default()),
+        &db,
+    );
+    let expected: Vec<u16> = trace.iter().map(|k| k.parallelism).collect();
+    assert_eq!(masks, expected);
+}
+
+#[test]
+fn two_streams_emulated_concurrently_stay_consistent() {
+    // Interleaved emulation on two streams: each stream's kernels must
+    // still get their own sizes (no cross-stream mask leakage).
+    let db = oracle_db(ModelKind::Squeezenet);
+    let mut rt = Runtime::new(RuntimeConfig {
+        mode: PartitionMode::KernelScopedEmulated(EmulationCosts::default()),
+        allocator: Box::new(PrefixAllocator),
+        perfdb: db,
+        jitter_sigma: 0.0,
+        ..RuntimeConfig::default()
+    });
+    let sa = rt.create_stream();
+    let sb = rt.create_stream();
+    let trace = generate_trace(ModelKind::Squeezenet, &TraceConfig::default());
+    for (i, k) in trace.iter().take(30).enumerate() {
+        rt.launch(sa, k.clone(), i as u64);
+        rt.launch(sb, k.clone(), i as u64);
+    }
+    let mut per_stream: std::collections::HashMap<u32, Vec<u16>> = Default::default();
+    while let Some(ev) = rt.step() {
+        if let RtEvent::KernelStarted { stream, mask, .. } = ev {
+            per_stream.entry(stream.0).or_default().push(mask.count());
+        }
+    }
+    let expected: Vec<u16> = trace.iter().take(30).map(|k| k.parallelism).collect();
+    assert_eq!(per_stream[&sa.0], expected);
+    assert_eq!(per_stream[&sb.0], expected);
+}
+
+#[test]
+fn unprofiled_kernels_fall_back_to_full_device_everywhere() {
+    for mode in [
+        PartitionMode::KernelScopedNative,
+        PartitionMode::KernelScopedEmulated(EmulationCosts::default()),
+    ] {
+        let empty = RequiredCusTable::new();
+        let (_, masks) = run_trace(ModelKind::Alexnet, mode, &empty);
+        assert!(masks.iter().all(|&c| c == 60), "{mode:?}: {masks:?}");
+    }
+}
+
+#[test]
+fn zero_cost_emulation_equals_native_minus_mask_generation() {
+    // With free callbacks/ioctls, the emulation's remaining difference
+    // from native is only the packet processor's 1 us mask generation.
+    let db = oracle_db(ModelKind::Squeezenet);
+    let free = EmulationCosts {
+        callback: SimDuration::ZERO,
+        ioctl: SimDuration::ZERO,
+    };
+    let (t_native, _) =
+        run_trace(ModelKind::Squeezenet, PartitionMode::KernelScopedNative, &db);
+    let (t_emulated, masks) = run_trace(
+        ModelKind::Squeezenet,
+        PartitionMode::KernelScopedEmulated(free),
+        &db,
+    );
+    assert_eq!(t_native - t_emulated, masks.len() as u64 * 1_000);
+}

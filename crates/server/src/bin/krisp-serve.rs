@@ -1,0 +1,235 @@
+//! Command-line experiment driver for the simulated inference server.
+//!
+//! ```sh
+//! krisp-serve --policy krisp-i --models albert,resnext101 --batch 32
+//! krisp-serve --policy static-equal --models squeezenet --workers 4 \
+//!             --batch 16 --seconds 5 --json
+//! ```
+
+use std::process::ExitCode;
+use std::str::FromStr;
+
+use krisp::Policy;
+use krisp_models::ModelKind;
+use krisp_server::{
+    oracle_perfdb, run_cluster, run_server, Arrival, ClusterConfig, Routing, ServerConfig,
+};
+use krisp_sim::SimDuration;
+
+struct Args {
+    gpus: usize,
+    policy: Policy,
+    models: Vec<ModelKind>,
+    workers: Option<usize>,
+    batch: u32,
+    seconds: f64,
+    rate: Option<f64>,
+    overlap_limit: Option<u16>,
+    seed: u64,
+    json: bool,
+}
+
+const USAGE: &str = "\
+krisp-serve — run one spatial-partitioning experiment on the simulated GPU
+
+USAGE:
+    krisp-serve [OPTIONS]
+
+OPTIONS:
+    --policy <name>       mps-default | static-equal | model-right-size |
+                          krisp-o | krisp-i            [default: krisp-i]
+    --models <a,b,...>    comma-separated model names (one worker each)
+                                                       [default: albert]
+    --workers <n>         replicate the model list n times
+    --batch <n>           batch size                   [default: 32]
+    --seconds <s>         measurement window           [default: auto]
+    --rate <rps>          open-loop Poisson rate per worker
+                          (omit for closed-loop max load)
+    --gpus <n>            run a multi-GPU cluster (requires --rate;
+                          least-outstanding routing)
+    --overlap-limit <n>   override the KRISP overlap limit (Fig 16)
+    --seed <n>            RNG seed                     [default: 0xC0FFEE]
+    --json                print the full result as JSON
+    --help                this text
+
+MODELS: albert alexnet densenet201 resnet152 resnext101 shufflenet
+        squeezenet vgg19";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        gpus: 1,
+        policy: Policy::KrispI,
+        models: vec![ModelKind::Albert],
+        workers: None,
+        batch: 32,
+        seconds: 0.0,
+        rate: None,
+        overlap_limit: None,
+        seed: 0xC0FFEE,
+        json: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--policy" => {
+                args.policy = Policy::from_str(&value("--policy")?).map_err(|e| e.to_string())?;
+            }
+            "--models" => {
+                args.models = value("--models")?
+                    .split(',')
+                    .map(|m| ModelKind::from_str(m.trim()).map_err(|e| e.to_string()))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--workers" => {
+                args.workers = Some(
+                    value("--workers")?
+                        .parse()
+                        .map_err(|e| format!("--workers: {e}"))?,
+                );
+            }
+            "--batch" => {
+                args.batch = value("--batch")?
+                    .parse()
+                    .map_err(|e| format!("--batch: {e}"))?;
+            }
+            "--seconds" => {
+                args.seconds = value("--seconds")?
+                    .parse()
+                    .map_err(|e| format!("--seconds: {e}"))?;
+            }
+            "--gpus" => {
+                args.gpus = value("--gpus")?
+                    .parse()
+                    .map_err(|e| format!("--gpus: {e}"))?;
+            }
+            "--rate" => {
+                args.rate = Some(
+                    value("--rate")?
+                        .parse()
+                        .map_err(|e| format!("--rate: {e}"))?,
+                );
+            }
+            "--overlap-limit" => {
+                args.overlap_limit = Some(
+                    value("--overlap-limit")?
+                        .parse()
+                        .map_err(|e| format!("--overlap-limit: {e}"))?,
+                );
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--json" => args.json = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    if args.models.is_empty() {
+        return Err("--models needs at least one model".to_string());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut models = args.models.clone();
+    if let Some(w) = args.workers {
+        models = models
+            .iter()
+            .copied()
+            .cycle()
+            .take(models.len() * w)
+            .collect();
+    }
+    let mut distinct = models.clone();
+    distinct.sort();
+    distinct.dedup();
+    eprintln!("[building oracle perfdb for {} model(s)]", distinct.len());
+    let perfdb = oracle_perfdb(&distinct, &[args.batch]);
+
+    if args.gpus > 1 {
+        let Some(rate) = args.rate else {
+            eprintln!("error: --gpus needs --rate (open-loop clusters only)");
+            return ExitCode::FAILURE;
+        };
+        let mut cfg = ClusterConfig::new(args.gpus, models, rate);
+        cfg.policy = args.policy;
+        cfg.batch = args.batch;
+        cfg.routing = Routing::LeastOutstanding;
+        cfg.seed = args.seed;
+        if args.seconds > 0.0 {
+            cfg.horizon = SimDuration::from_secs_f64(args.seconds);
+        }
+        let r = run_cluster(&cfg, &perfdb);
+        println!(
+            "cluster of {} GPUs | policy {} | served {:.1} req/s | p95 {:.1} ms | {:.0} J total | per-GPU {:?}",
+            args.gpus,
+            args.policy,
+            r.rps,
+            r.p95_ms,
+            r.energy_j,
+            r.per_gpu
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let mut cfg = ServerConfig::closed_loop(args.policy, models, args.batch);
+    cfg.seed = args.seed;
+    cfg.overlap_limit = args.overlap_limit;
+    if let Some(rate) = args.rate {
+        cfg.arrival = Arrival::Poisson {
+            rps_per_worker: rate,
+        };
+    }
+    if args.seconds > 0.0 {
+        cfg.duration = Some(SimDuration::from_secs_f64(args.seconds));
+    }
+    let result = run_server(&cfg, &perfdb);
+
+    if args.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&result).expect("result serializes")
+        );
+        return ExitCode::SUCCESS;
+    }
+    println!(
+        "policy {} | batch {} | {} workers | window {}",
+        result.policy,
+        result.batch,
+        result.workers.len(),
+        result.window
+    );
+    println!(
+        "throughput {:.1} req/s | energy/inference {:.2} J | utilization {:.0}% allocated, {:.0}% useful",
+        result.total_rps(),
+        result.energy_per_inference().unwrap_or(f64::NAN),
+        100.0 * result.allocation_utilization(),
+        100.0 * result.service_utilization()
+    );
+    for (i, w) in result.workers.iter().enumerate() {
+        match w.summary() {
+            Some(s) => println!(
+                "worker {i} ({}): {} inferences, p50 {:.1} ms, p95 {:.1} ms, p99 {:.1} ms",
+                w.model, s.count, s.p50, s.p95, s.p99
+            ),
+            None => println!("worker {i} ({}): no completions", w.model),
+        }
+    }
+    ExitCode::SUCCESS
+}

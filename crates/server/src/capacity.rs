@@ -1,0 +1,149 @@
+//! Capacity planning: how many concurrent workers a model (or mix)
+//! supports under a tail-latency SLO — the decision the Table IV data
+//! feeds in a real deployment.
+
+use krisp::Policy;
+use krisp_models::ModelKind;
+use krisp_runtime::RequiredCusTable;
+use krisp_sim::SimDuration;
+
+use crate::experiment::{run_server, ServerConfig};
+
+/// A capacity plan for one model under one policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CapacityPlan {
+    /// The model.
+    pub model: ModelKind,
+    /// The policy evaluated.
+    pub policy: Policy,
+    /// Measured isolated p95, ms (the SLO anchor).
+    pub isolated_p95_ms: f64,
+    /// Largest worker count that met the SLO.
+    pub max_workers: usize,
+    /// Throughput at that worker count (requests/s).
+    pub rps_at_max: f64,
+}
+
+/// Options for [`plan_capacity`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CapacityOptions {
+    /// SLO as a multiple of the isolated p95 (the paper uses 2.0).
+    pub slo_factor: f64,
+    /// Worker counts to try, ascending. The search stops at the first
+    /// violation (concurrency-vs-SLO is monotone in practice).
+    pub candidates: &'static [usize],
+    /// Batch size.
+    pub batch: u32,
+    /// Measurement window override (`None` = auto).
+    pub duration: Option<SimDuration>,
+}
+
+impl Default for CapacityOptions {
+    fn default() -> CapacityOptions {
+        CapacityOptions {
+            slo_factor: 2.0,
+            candidates: &[1, 2, 4, 6, 8],
+            batch: 32,
+            duration: None,
+        }
+    }
+}
+
+/// Finds the largest candidate worker count whose every worker meets
+/// `slo_factor × isolated p95` under `policy`, by measurement.
+///
+/// # Examples
+///
+/// ```no_run
+/// use krisp::Policy;
+/// use krisp_models::ModelKind;
+/// use krisp_server::{oracle_perfdb, plan_capacity, CapacityOptions};
+///
+/// let db = oracle_perfdb(&[ModelKind::Squeezenet], &[32]);
+/// let plan = plan_capacity(ModelKind::Squeezenet, Policy::KrispI, &db, CapacityOptions::default());
+/// assert!(plan.max_workers >= 1);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `options.candidates` is empty or `slo_factor` is not
+/// positive.
+pub fn plan_capacity(
+    model: ModelKind,
+    policy: Policy,
+    perfdb: &RequiredCusTable,
+    options: CapacityOptions,
+) -> CapacityPlan {
+    assert!(!options.candidates.is_empty(), "need candidate counts");
+    assert!(options.slo_factor > 0.0, "SLO factor must be positive");
+
+    let mut iso_cfg = ServerConfig::closed_loop(Policy::MpsDefault, vec![model], options.batch);
+    iso_cfg.duration = options.duration;
+    let iso = run_server(&iso_cfg, perfdb);
+    let isolated_p95_ms = iso.max_p95_ms().expect("isolated run completes");
+
+    let mut best = (options.candidates[0], 0.0);
+    for &workers in options.candidates {
+        let mut cfg = ServerConfig::closed_loop(policy, vec![model; workers], options.batch);
+        cfg.duration = options.duration;
+        let r = run_server(&cfg, perfdb);
+        let ok = r.workers.iter().all(|w| match w.p95_ms() {
+            Some(p95) => p95 <= options.slo_factor * isolated_p95_ms,
+            None => false,
+        });
+        if ok {
+            best = (workers, r.total_rps());
+        } else {
+            break;
+        }
+    }
+    CapacityPlan {
+        model,
+        policy,
+        isolated_p95_ms,
+        max_workers: best.0,
+        rps_at_max: best.1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::oracle_perfdb;
+
+    fn quick_options() -> CapacityOptions {
+        CapacityOptions {
+            candidates: &[1, 2, 4],
+            duration: Some(SimDuration::from_millis(400)),
+            ..CapacityOptions::default()
+        }
+    }
+
+    #[test]
+    fn tolerant_model_supports_four_workers_under_krisp() {
+        let db = oracle_perfdb(&[ModelKind::Squeezenet], &[32]);
+        let plan = plan_capacity(ModelKind::Squeezenet, Policy::KrispI, &db, quick_options());
+        assert_eq!(plan.max_workers, 4, "{plan:?}");
+        assert!(plan.rps_at_max > 0.0);
+    }
+
+    #[test]
+    fn tight_slo_limits_concurrency() {
+        let db = oracle_perfdb(&[ModelKind::Vgg19], &[32]);
+        let mut opts = quick_options();
+        opts.slo_factor = 1.1; // barely above isolated
+        let plan = plan_capacity(ModelKind::Vgg19, Policy::MpsDefault, &db, opts);
+        assert_eq!(plan.max_workers, 1, "{plan:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "candidate counts")]
+    fn empty_candidates_rejected() {
+        let db = oracle_perfdb(&[ModelKind::Albert], &[32]);
+        let opts = CapacityOptions {
+            candidates: &[],
+            ..CapacityOptions::default()
+        };
+        plan_capacity(ModelKind::Albert, Policy::KrispI, &db, opts);
+    }
+}

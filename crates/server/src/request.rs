@@ -1,0 +1,116 @@
+//! Inference requests and the shared request queues of the server
+//! front-end.
+
+use std::collections::VecDeque;
+
+use krisp_models::ModelKind;
+use krisp_sim::SimTime;
+
+/// One client inference request (a batch of inputs for one model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InferenceRequest {
+    /// Monotonic request id.
+    pub id: u64,
+    /// The model to run.
+    pub model: ModelKind,
+    /// Batch size.
+    pub batch: u32,
+    /// When the front-end enqueued the request.
+    pub enqueued_at: SimTime,
+}
+
+/// A FIFO request queue, one per worker (the paper's shared-memory
+/// request queues, simplified to in-process FIFOs since the simulation
+/// is single-threaded).
+///
+/// # Examples
+///
+/// ```
+/// use krisp_models::ModelKind;
+/// use krisp_server::{InferenceRequest, RequestQueue};
+/// use krisp_sim::SimTime;
+///
+/// let mut q = RequestQueue::new();
+/// q.push(InferenceRequest {
+///     id: 0,
+///     model: ModelKind::Albert,
+///     batch: 32,
+///     enqueued_at: SimTime::ZERO,
+/// });
+/// assert_eq!(q.len(), 1);
+/// assert_eq!(q.pop().unwrap().id, 0);
+/// assert!(q.is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RequestQueue {
+    queue: VecDeque<InferenceRequest>,
+    max_depth: usize,
+}
+
+impl RequestQueue {
+    /// Creates an empty queue.
+    pub fn new() -> RequestQueue {
+        RequestQueue::default()
+    }
+
+    /// Enqueues a request.
+    pub fn push(&mut self, request: InferenceRequest) {
+        self.queue.push_back(request);
+        self.max_depth = self.max_depth.max(self.queue.len());
+    }
+
+    /// Dequeues the oldest request.
+    pub fn pop(&mut self) -> Option<InferenceRequest> {
+        self.queue.pop_front()
+    }
+
+    /// Requests currently waiting.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True if no request is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// High-water mark of the queue depth (back-pressure indicator).
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64) -> InferenceRequest {
+        InferenceRequest {
+            id,
+            model: ModelKind::Albert,
+            batch: 32,
+            enqueued_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut q = RequestQueue::new();
+        q.push(req(1));
+        q.push(req(2));
+        assert_eq!(q.pop().unwrap().id, 1);
+        assert_eq!(q.pop().unwrap().id, 2);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn high_water_mark() {
+        let mut q = RequestQueue::new();
+        q.push(req(1));
+        q.push(req(2));
+        q.pop();
+        q.push(req(3));
+        assert_eq!(q.max_depth(), 2);
+        assert_eq!(q.len(), 2);
+    }
+}

@@ -1,0 +1,84 @@
+//! The partition-resource-mask allocation interface.
+//!
+//! When the packet processor consumes an AQL kernel packet carrying a
+//! KRISP partition-size field, it must turn "this kernel needs *n* CUs"
+//! into a concrete [`CuMask`], consulting the per-CU kernel counters
+//! (the Resource Monitor). The algorithm that does this is the heart of
+//! KRISP (Algorithm 1) and lives in the `krisp` crate; the simulator only
+//! defines the [`MaskAllocator`] contract so the hardware model stays
+//! policy-free.
+
+use crate::counters::CuKernelCounters;
+use crate::mask::CuMask;
+use crate::topology::GpuTopology;
+
+/// Strategy that converts a requested partition size into a CU mask,
+/// given the device's current per-CU kernel load.
+///
+/// Implementations live in the `krisp` crate (Algorithm 1 with the
+/// Conserved / Packed / Distributed distribution policies and an overlap
+/// limit). [`FullMaskAllocator`] is a trivial baseline for tests.
+pub trait MaskAllocator: Send {
+    /// Produces the CU mask for a kernel requesting `requested_cus` CUs.
+    ///
+    /// `counters` reflects all kernels currently resident on the device
+    /// (not including the one being allocated). Implementations may
+    /// return fewer CUs than requested (e.g. KRISP-I refuses to
+    /// oversubscribe), but must never return an empty mask when
+    /// `requested_cus > 0` and the device has CUs.
+    fn allocate(
+        &mut self,
+        requested_cus: u16,
+        counters: &CuKernelCounters,
+        topology: &GpuTopology,
+    ) -> CuMask;
+}
+
+/// Baseline allocator that ignores the request and grants the full
+/// device — the behaviour of "MPS Default" (no resource restriction).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FullMaskAllocator;
+
+impl MaskAllocator for FullMaskAllocator {
+    fn allocate(
+        &mut self,
+        _requested_cus: u16,
+        _counters: &CuKernelCounters,
+        topology: &GpuTopology,
+    ) -> CuMask {
+        CuMask::full(topology)
+    }
+}
+
+impl<A: MaskAllocator + ?Sized> MaskAllocator for Box<A> {
+    fn allocate(
+        &mut self,
+        requested_cus: u16,
+        counters: &CuKernelCounters,
+        topology: &GpuTopology,
+    ) -> CuMask {
+        (**self).allocate(requested_cus, counters, topology)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_mask_allocator_grants_everything() {
+        let topo = GpuTopology::MI50;
+        let counters = CuKernelCounters::new(topo);
+        let mut a = FullMaskAllocator;
+        assert_eq!(a.allocate(1, &counters, &topo), CuMask::full(&topo));
+        assert_eq!(a.allocate(60, &counters, &topo).count(), 60);
+    }
+
+    #[test]
+    fn boxed_allocator_delegates() {
+        let topo = GpuTopology::MI50;
+        let counters = CuKernelCounters::new(topo);
+        let mut a: Box<dyn MaskAllocator> = Box::new(FullMaskAllocator);
+        assert_eq!(a.allocate(5, &counters, &topo).count(), 60);
+    }
+}

@@ -1,0 +1,273 @@
+//! The execution-rate model: how fast a kernel progresses given its CU
+//! mask and the other kernels it shares CUs with.
+//!
+//! Two hardware behaviours dominate the paper's results and are modelled
+//! here:
+//!
+//! 1. **Per-SE work splitting.** AMD workload managers split a kernel's
+//!    workgroups *equally* across the shader engines that have active CUs
+//!    in its mask, then schedule within each SE (§IV-C1, citing
+//!    Otterness & Anderson). A mask that is imbalanced across SEs is
+//!    therefore bottlenecked by its weakest SE — the cause of the *Packed*
+//!    policy's latency spikes at 16/31/46 CUs and the *Distributed*
+//!    policy's steps at 15/11/7 CUs in Fig 8.
+//! 2. **Intra-CU processor sharing.** Concurrent kernels co-resident on a
+//!    CU time-share it. A CU with `r` resident kernels contributes `1/r`
+//!    of a CU of service to each. This is what makes *MPS Default*
+//!    collapse under 4 workers and what KRISP-I's isolation avoids.
+//!
+//! A kernel's **rate** is measured in CU-equivalents of service:
+//!
+//! ```text
+//! rate = min(parallelism, used_ses * min_over_used_ses(effective_cus(se)))
+//! effective_cus(se) = sum over mask CUs in se of share(residents(cu))
+//! share(r) = 1 / (r * (1 + gamma * (r - 1)))
+//! ```
+//!
+//! `gamma` ([`DEFAULT_SHARING_PENALTY`]) is the **co-residency
+//! interference factor**: beyond fair time-sharing, kernels co-located on
+//! a CU also fight over caches, LDS and memory bandwidth, so a CU with
+//! `r` residents delivers only `1/(1 + gamma*(r-1))` of a CU in total.
+//! With `gamma = 0` the model degenerates to ideal processor sharing;
+//! the default 0.35 reproduces the paper's observation that unrestricted
+//! co-location (*MPS Default*) degrades markedly at 4 workers while
+//! isolated partitions don't (§VI-B).
+//!
+//! A kernel with `work` CU·ns of demand finishes after `work / rate` ns
+//! while conditions stay constant; the [`crate::Engine`] re-evaluates
+//! rates whenever the set of co-running kernels changes.
+
+use crate::mask::CuMask;
+use crate::topology::GpuTopology;
+
+/// Default co-residency interference factor (see module docs).
+pub const DEFAULT_SHARING_PENALTY: f64 = 0.35;
+
+/// The per-kernel share of one CU that hosts `r` resident kernels, under
+/// interference factor `gamma`.
+pub fn cu_share(residents: u16, gamma: f64) -> f64 {
+    let r = residents.max(1) as f64;
+    1.0 / (r * (1.0 + gamma * (r - 1.0)))
+}
+
+/// Effective CU capacity a mask receives inside one shader engine, given
+/// per-CU resident counts: `Σ share(residents(cu))` over the mask's CUs
+/// in that SE. CUs with zero residents contribute a full CU (the caller
+/// is about to become the sole resident).
+fn se_effective(
+    mask: &CuMask,
+    residents: &[u16],
+    topo: &GpuTopology,
+    se_index: u8,
+    gamma: f64,
+) -> f64 {
+    topo.cus_in_se(crate::topology::SeId(se_index))
+        .filter(|cu| mask.contains(*cu))
+        .map(|cu| cu_share(residents[usize::from(cu)], gamma))
+        .sum()
+}
+
+/// The rate (in CU-equivalents of service) at which a kernel with the
+/// given mask and parallelism knee progresses, given the current per-CU
+/// resident counts (`residents[cu]` **includes** this kernel itself),
+/// the interference factor `gamma`, and the kernel's memory-bandwidth
+/// floor (`bandwidth_floor * parallelism` is the least rate a
+/// memory-bound kernel falls to, regardless of CU starvation).
+///
+/// Returns 0.0 for an empty mask — callers must not dispatch kernels with
+/// empty masks (the [`crate::Machine`] treats that as an error).
+///
+/// # Examples
+///
+/// ```
+/// use krisp_sim::{contention, CuMask, GpuTopology};
+///
+/// let topo = GpuTopology::MI50;
+/// // Alone on 15 CUs of one SE: 15 CUs of service.
+/// let mask = CuMask::first_n(15, &topo);
+/// let residents = {
+///     let mut r = vec![0u16; 60];
+///     for cu in &mask { r[usize::from(cu)] = 1; }
+///     r
+/// };
+/// assert_eq!(contention::kernel_rate(&mask, 60, 0.0, &residents, &topo, 0.25), 15.0);
+/// ```
+pub fn kernel_rate(
+    mask: &CuMask,
+    parallelism: u16,
+    bandwidth_floor: f64,
+    residents: &[u16],
+    topo: &GpuTopology,
+    gamma: f64,
+) -> f64 {
+    debug_assert_eq!(residents.len(), topo.total_cus() as usize);
+    debug_assert!(gamma >= 0.0, "interference factor must be non-negative");
+    let mut used = 0u32;
+    let mut min_eff = f64::INFINITY;
+    for se in 0..topo.num_ses() {
+        if mask.count_in_se(topo, crate::topology::SeId(se)) == 0 {
+            continue;
+        }
+        used += 1;
+        let eff = se_effective(mask, residents, topo, se, gamma);
+        if eff < min_eff {
+            min_eff = eff;
+        }
+    }
+    if used == 0 {
+        return 0.0;
+    }
+    let raw = used as f64 * min_eff;
+    raw.max(bandwidth_floor * parallelism as f64)
+        .min(parallelism as f64)
+}
+
+/// The total CU-equivalents of service the whole device is delivering,
+/// i.e. the sum of all co-running kernels' rates. Used by the power model
+/// as the dynamic-activity term.
+pub fn total_service(rates: impl IntoIterator<Item = f64>) -> f64 {
+    rates.into_iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::CuId;
+
+    fn topo() -> GpuTopology {
+        GpuTopology::MI50
+    }
+
+    fn residents_for(masks: &[&CuMask], topo: &GpuTopology) -> Vec<u16> {
+        let mut r = vec![0u16; topo.total_cus() as usize];
+        for m in masks {
+            for cu in m.iter() {
+                r[usize::from(cu)] += 1;
+            }
+        }
+        r
+    }
+
+    const G: f64 = DEFAULT_SHARING_PENALTY;
+    /// A round-number interference factor used where tests assert exact
+    /// shares (share(2) = 0.4).
+    const G25: f64 = 0.25;
+
+    #[test]
+    fn default_penalty_is_calibrated_value() {
+        assert_eq!(DEFAULT_SHARING_PENALTY, 0.35);
+    }
+
+    #[test]
+    fn balanced_full_mask_gives_full_rate() {
+        let t = topo();
+        let m = CuMask::full(&t);
+        let r = residents_for(&[&m], &t);
+        assert_eq!(kernel_rate(&m, 60, 0.0, &r, &t, G), 60.0);
+    }
+
+    #[test]
+    fn parallelism_caps_rate() {
+        let t = topo();
+        let m = CuMask::full(&t);
+        let r = residents_for(&[&m], &t);
+        assert_eq!(kernel_rate(&m, 10, 0.0, &r, &t, G), 10.0);
+    }
+
+    #[test]
+    fn packed_16_cus_bottlenecked_by_straggler_se() {
+        // Packed policy: 15 CUs on SE0 + 1 CU on SE1. Work is split
+        // equally across the 2 used SEs, so the single CU on SE1 handles
+        // half the kernel: rate = 2 * min(15, 1) = 2, the Fig 8 spike.
+        let t = topo();
+        let m = CuMask::first_n(16, &t);
+        let r = residents_for(&[&m], &t);
+        assert_eq!(kernel_rate(&m, 60, 0.0, &r, &t, G), 2.0);
+    }
+
+    #[test]
+    fn distributed_15_cus_bottlenecked_by_short_se() {
+        // Distributed: 4,4,4,3 across the SEs -> rate = 4 * 3 = 12,
+        // the Fig 8 "step" at 15 active CUs.
+        let t = topo();
+        let mut m = CuMask::new();
+        for se in 0..4u8 {
+            let n = if se == 3 { 3 } else { 4 };
+            for i in 0..n {
+                m.set(t.cu_at(crate::topology::SeId(se), i));
+            }
+        }
+        let r = residents_for(&[&m], &t);
+        assert_eq!(kernel_rate(&m, 60, 0.0, &r, &t, G), 12.0);
+    }
+
+    #[test]
+    fn sharing_a_cu_costs_more_than_half() {
+        let t = topo();
+        let m = CuMask::first_n(15, &t); // all SE0
+        let r = residents_for(&[&m, &m], &t); // two identical kernels
+        // share(2) = 1/(2 * 1.25) = 0.4 -> 6 CUs each, not 7.5:
+        // co-residency interference destroys 20% of the capacity.
+        assert!((kernel_rate(&m, 60, 0.0, &r, &t, G25) - 6.0).abs() < 1e-12);
+        // The calibrated default is harsher still.
+        assert!(kernel_rate(&m, 60, 0.0, &r, &t, G) < 6.0);
+        // With gamma = 0 the model is ideal processor sharing.
+        assert_eq!(kernel_rate(&m, 60, 0.0, &r, &t, 0.0), 7.5);
+    }
+
+    #[test]
+    fn disjoint_masks_do_not_interfere() {
+        let t = topo();
+        let a = CuMask::first_n(15, &t);
+        let b: CuMask = t.cus_in_se(crate::topology::SeId(1)).collect();
+        let r = residents_for(&[&a, &b], &t);
+        assert_eq!(kernel_rate(&a, 60, 0.0, &r, &t, G), 15.0);
+        assert_eq!(kernel_rate(&b, 60, 0.0, &r, &t, G), 15.0);
+    }
+
+    #[test]
+    fn empty_mask_has_zero_rate() {
+        let t = topo();
+        let r = vec![0u16; 60];
+        assert_eq!(kernel_rate(&CuMask::EMPTY, 60, 0.0, &r, &t, G), 0.0);
+    }
+
+    #[test]
+    fn unresidented_cus_count_fully() {
+        // A mask evaluated before the kernel is resident (residents=0)
+        // treats each CU as a full CU.
+        let t = topo();
+        let m: CuMask = [CuId(0), CuId(1)].into_iter().collect();
+        let r = vec![0u16; 60];
+        assert_eq!(kernel_rate(&m, 60, 0.0, &r, &t, G), 2.0);
+    }
+
+    #[test]
+    fn ideal_sharing_conserves_capacity_interference_destroys_it() {
+        let t = topo();
+        let m = CuMask::first_n(15, &t);
+        let r = residents_for(&[&m, &m], &t);
+        let sum_ideal = total_service([
+            kernel_rate(&m, 60, 0.0, &r, &t, 0.0),
+            kernel_rate(&m, 60, 0.0, &r, &t, 0.0),
+        ]);
+        assert!((sum_ideal - 15.0).abs() < 1e-9);
+        let sum_real = total_service([
+            kernel_rate(&m, 60, 0.0, &r, &t, G25),
+            kernel_rate(&m, 60, 0.0, &r, &t, G25),
+        ]);
+        assert!((sum_real - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cu_share_is_monotone_in_residents() {
+        let mut prev = f64::INFINITY;
+        for r in 1..=8 {
+            let s = cu_share(r, G);
+            assert!(s < prev);
+            prev = s;
+        }
+        assert_eq!(cu_share(0, G), 1.0);
+        assert_eq!(cu_share(1, 0.9), 1.0);
+    }
+}

@@ -1,0 +1,390 @@
+//! The progress-based discrete-event execution engine.
+//!
+//! Co-running kernels each have a *remaining work* (CU·ns) and a *rate*
+//! (CU-equivalents of service, from [`crate::contention`]). The engine
+//! advances all kernels' work by `rate × dt`, recomputes rates whenever
+//! the resident set changes, and reports the next completion instant.
+//! This is the standard processor-sharing fluid model; it is exact for
+//! piecewise-constant rates, which is what CU masks give us.
+//!
+//! The engine knows nothing about queues, packets, or policies — the
+//! [`crate::Machine`] layers those on top.
+
+use std::fmt;
+
+use crate::contention;
+use crate::mask::CuMask;
+use crate::time::{SimDuration, SimTime};
+use crate::topology::GpuTopology;
+
+/// Unique id of one dispatched kernel instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct KernelId(pub u64);
+
+impl fmt::Display for KernelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k#{}", self.0)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct ActiveKernel {
+    id: KernelId,
+    mask: CuMask,
+    parallelism: u16,
+    bandwidth_floor: f64,
+    remaining: f64,
+    rate: f64,
+}
+
+/// Execution state of all currently co-running kernels.
+///
+/// # Examples
+///
+/// ```
+/// use krisp_sim::{Engine, CuMask, GpuTopology, SimTime};
+///
+/// let topo = GpuTopology::MI50;
+/// let mut e = Engine::new(topo);
+/// let mask = CuMask::first_n(15, &topo);
+/// let k = e.dispatch(1.5e6, 60, 0.0, mask).unwrap();
+/// // 1.5e6 CU*ns on 15 CUs -> 100_000 ns.
+/// let (t, id) = e.next_completion(SimTime::ZERO).unwrap();
+/// assert_eq!(id, k);
+/// assert_eq!(t.as_nanos(), 100_000);
+/// ```
+#[derive(Debug)]
+pub struct Engine {
+    topology: GpuTopology,
+    sharing_penalty: f64,
+    actives: Vec<ActiveKernel>,
+    residents: Vec<u16>,
+    next_id: u64,
+}
+
+/// Error returned by [`Engine::dispatch`] when a kernel cannot be started.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DispatchError {
+    /// The CU mask selects no CUs — the kernel could never progress.
+    EmptyMask,
+}
+
+impl fmt::Display for DispatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DispatchError::EmptyMask => write!(f, "kernel dispatched with an empty CU mask"),
+        }
+    }
+}
+
+impl std::error::Error for DispatchError {}
+
+impl Engine {
+    /// Creates an idle engine for a device with the default co-residency
+    /// interference factor
+    /// ([`contention::DEFAULT_SHARING_PENALTY`]).
+    pub fn new(topology: GpuTopology) -> Engine {
+        Engine::with_sharing_penalty(topology, contention::DEFAULT_SHARING_PENALTY)
+    }
+
+    /// Creates an engine with an explicit interference factor (`0.0` =
+    /// ideal processor sharing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sharing_penalty` is negative or not finite.
+    pub fn with_sharing_penalty(topology: GpuTopology, sharing_penalty: f64) -> Engine {
+        assert!(
+            sharing_penalty.is_finite() && sharing_penalty >= 0.0,
+            "interference factor must be finite and non-negative"
+        );
+        Engine {
+            topology,
+            sharing_penalty,
+            actives: Vec::new(),
+            residents: vec![0; topology.total_cus() as usize],
+            next_id: 0,
+        }
+    }
+
+    /// The device topology.
+    pub fn topology(&self) -> GpuTopology {
+        self.topology
+    }
+
+    /// The co-residency interference factor.
+    pub fn sharing_penalty(&self) -> f64 {
+        self.sharing_penalty
+    }
+
+    /// Starts a kernel with `work` CU·ns of demand and the given
+    /// parallelism knee on the CUs of `mask`.
+    ///
+    /// Callers must have already advanced every in-flight kernel to the
+    /// current instant (see [`Engine::advance`]); dispatching implicitly
+    /// re-rates everything.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DispatchError::EmptyMask`] if `mask` selects no CUs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `work` is not finite/positive or `parallelism` is zero.
+    pub fn dispatch(
+        &mut self,
+        work: f64,
+        parallelism: u16,
+        bandwidth_floor: f64,
+        mask: CuMask,
+    ) -> Result<KernelId, DispatchError> {
+        assert!(
+            work.is_finite() && work > 0.0,
+            "kernel work must be finite and positive, got {work}"
+        );
+        assert!(parallelism > 0, "kernel parallelism must be at least 1");
+        assert!(
+            (0.0..=1.0).contains(&bandwidth_floor),
+            "bandwidth floor must be in 0..=1, got {bandwidth_floor}"
+        );
+        if mask.is_empty() {
+            return Err(DispatchError::EmptyMask);
+        }
+        let id = KernelId(self.next_id);
+        self.next_id += 1;
+        for cu in &mask {
+            self.residents[usize::from(cu)] += 1;
+        }
+        self.actives.push(ActiveKernel {
+            id,
+            mask,
+            parallelism,
+            bandwidth_floor,
+            remaining: work,
+            rate: 0.0,
+        });
+        self.recompute_rates();
+        Ok(id)
+    }
+
+    /// Advances every in-flight kernel by `dt` at its current rate.
+    pub fn advance(&mut self, dt: SimDuration) {
+        if dt.is_zero() {
+            return;
+        }
+        let ns = dt.as_nanos() as f64;
+        for k in &mut self.actives {
+            k.remaining = (k.remaining - k.rate * ns).max(0.0);
+        }
+    }
+
+    /// The instant and id of the next kernel to finish, given the current
+    /// time, or `None` when the engine is idle. Deterministic tie-break:
+    /// the lowest kernel id wins.
+    pub fn next_completion(&self, now: SimTime) -> Option<(SimTime, KernelId)> {
+        self.actives
+            .iter()
+            .map(|k| {
+                let ns = if k.remaining <= 0.0 {
+                    0
+                } else {
+                    (k.remaining / k.rate).ceil() as u64
+                };
+                (now + SimDuration::from_nanos(ns), k.id)
+            })
+            .min()
+    }
+
+    /// Removes a finished kernel, returning its mask (for counter
+    /// release). The caller must have advanced the engine to the kernel's
+    /// completion instant first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not in flight.
+    pub fn complete(&mut self, id: KernelId) -> CuMask {
+        let idx = self
+            .actives
+            .iter()
+            .position(|k| k.id == id)
+            .unwrap_or_else(|| panic!("{id} is not in flight"));
+        let k = self.actives.swap_remove(idx);
+        for cu in &k.mask {
+            let r = &mut self.residents[usize::from(cu)];
+            debug_assert!(*r > 0);
+            *r -= 1;
+        }
+        self.recompute_rates();
+        k.mask
+    }
+
+    /// Number of in-flight kernels.
+    pub fn active_count(&self) -> usize {
+        self.actives.len()
+    }
+
+    /// True when no kernel is in flight.
+    pub fn is_idle(&self) -> bool {
+        self.actives.is_empty()
+    }
+
+    /// The current rate of an in-flight kernel, if any.
+    pub fn rate_of(&self, id: KernelId) -> Option<f64> {
+        self.actives.iter().find(|k| k.id == id).map(|k| k.rate)
+    }
+
+    /// Number of CUs with at least one resident kernel (power gating input).
+    pub fn busy_cus(&self) -> u32 {
+        self.residents.iter().filter(|&&r| r > 0).count() as u32
+    }
+
+    /// Number of shader engines with at least one busy CU.
+    pub fn busy_ses(&self) -> u32 {
+        self.topology
+            .ses()
+            .filter(|&se| {
+                self.topology
+                    .cus_in_se(se)
+                    .any(|cu| self.residents[usize::from(cu)] > 0)
+            })
+            .count() as u32
+    }
+
+    /// Total CU-equivalents of service being delivered right now.
+    pub fn total_service(&self) -> f64 {
+        contention::total_service(self.actives.iter().map(|k| k.rate))
+    }
+
+    /// Per-CU resident counts, indexed by global CU id.
+    pub fn residents(&self) -> &[u16] {
+        &self.residents
+    }
+
+    fn recompute_rates(&mut self) {
+        let topo = self.topology;
+        let gamma = self.sharing_penalty;
+        let residents = &self.residents;
+        for k in &mut self.actives {
+            k.rate = contention::kernel_rate(
+                &k.mask,
+                k.parallelism,
+                k.bandwidth_floor,
+                residents,
+                &topo,
+                gamma,
+            );
+            debug_assert!(k.rate > 0.0, "in-flight kernel with zero rate");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> GpuTopology {
+        GpuTopology::MI50
+    }
+
+    #[test]
+    fn single_kernel_runs_at_mask_capacity() {
+        let mut e = Engine::new(topo());
+        let k = e
+            .dispatch(6.0e6, 60, 0.0, CuMask::full(&topo()))
+            .expect("dispatch");
+        let (t, id) = e.next_completion(SimTime::ZERO).unwrap();
+        assert_eq!(id, k);
+        assert_eq!(t.as_nanos(), 100_000); // 6e6 / 60
+        e.advance(t - SimTime::ZERO);
+        assert_eq!(e.complete(k).count(), 60);
+        assert!(e.is_idle());
+    }
+
+    #[test]
+    fn empty_mask_is_an_error() {
+        let mut e = Engine::new(topo());
+        assert_eq!(
+            e.dispatch(1.0, 1, 0.0, CuMask::EMPTY).unwrap_err(),
+            DispatchError::EmptyMask
+        );
+    }
+
+    #[test]
+    fn two_sharing_kernels_slow_beyond_half_speed() {
+        let t = topo();
+        let mut e = Engine::with_sharing_penalty(t, 0.25);
+        let mask = CuMask::first_n(15, &t);
+        let a = e.dispatch(1.5e6, 60, 0.0, mask).unwrap();
+        let b = e.dispatch(1.5e6, 60, 0.0, mask).unwrap();
+        // Each gets 6 CUs (0.4 share under gamma = 0.25) -> 250_000 ns.
+        let (ta, first) = e.next_completion(SimTime::ZERO).unwrap();
+        assert_eq!(ta.as_nanos(), 250_000);
+        assert_eq!(first, a); // tie-break on id
+        e.advance(ta - SimTime::ZERO);
+        e.complete(a);
+        // b finished the same instant (identical work and rate).
+        let (tb, id_b) = e.next_completion(ta).unwrap();
+        assert_eq!(id_b, b);
+        assert_eq!(tb, ta);
+    }
+
+    #[test]
+    fn ideal_sharing_engine_matches_processor_sharing() {
+        let t = topo();
+        let mut e = Engine::with_sharing_penalty(t, 0.0);
+        let mask = CuMask::first_n(15, &t);
+        e.dispatch(1.5e6, 60, 0.0, mask).unwrap();
+        e.dispatch(1.5e6, 60, 0.0, mask).unwrap();
+        let (ta, _) = e.next_completion(SimTime::ZERO).unwrap();
+        assert_eq!(ta.as_nanos(), 200_000); // 7.5 CUs each
+    }
+
+    #[test]
+    fn survivor_speeds_up_after_completion() {
+        let t = topo();
+        let mut e = Engine::with_sharing_penalty(t, 0.25);
+        let mask = CuMask::first_n(15, &t);
+        let a = e.dispatch(0.75e6, 60, 0.0, mask).unwrap(); // finishes first
+        let b = e.dispatch(1.5e6, 60, 0.0, mask).unwrap();
+        let (ta, id) = e.next_completion(SimTime::ZERO).unwrap();
+        assert_eq!(id, a);
+        assert_eq!(ta.as_nanos(), 125_000); // 0.75e6 at 6 CUs
+        e.advance(ta - SimTime::ZERO);
+        e.complete(a);
+        // b has 1.5e6 - 6*125_000 = 0.75e6 left, now alone at 15 CUs.
+        assert_eq!(e.rate_of(b), Some(15.0));
+        let (tb, _) = e.next_completion(ta).unwrap();
+        assert_eq!(tb.as_nanos(), 175_000);
+    }
+
+    #[test]
+    fn occupancy_accounting() {
+        let t = topo();
+        let mut e = Engine::new(t);
+        assert_eq!(e.busy_cus(), 0);
+        assert_eq!(e.busy_ses(), 0);
+        let k = e.dispatch(1.0e6, 60, 0.0, CuMask::first_n(20, &t)).unwrap();
+        assert_eq!(e.busy_cus(), 20);
+        assert_eq!(e.busy_ses(), 2);
+        // 15 + 5 across two SEs: rate = 2 * min(15,5) = 10.
+        assert_eq!(e.total_service(), 10.0);
+        e.complete(k);
+        assert_eq!(e.busy_cus(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in flight")]
+    fn completing_unknown_kernel_panics() {
+        Engine::new(topo()).complete(KernelId(7));
+    }
+
+    #[test]
+    fn advance_never_goes_negative() {
+        let t = topo();
+        let mut e = Engine::new(t);
+        e.dispatch(1.0e3, 60, 0.0, CuMask::full(&t)).unwrap();
+        e.advance(SimDuration::from_secs(1));
+        let (tc, _) = e.next_completion(SimTime::from_nanos(5)).unwrap();
+        assert_eq!(tc.as_nanos(), 5); // already done; completes "now"
+    }
+}

@@ -1,0 +1,969 @@
+//! The [`Machine`]: HSA queues + command processor + execution engine +
+//! power meter, driven as a single deterministic discrete-event
+//! simulation.
+//!
+//! The machine plays the role of the GPU's **command processor / packet
+//! processor** (§IV-D2): it drains AQL packets from the software queues,
+//! honors barrier dependencies, applies dispatch latencies, and — in
+//! [`EnforcementMode::KernelScoped`] — runs the pluggable
+//! [`MaskAllocator`] to turn each packet's partition-size field into a
+//! per-kernel CU mask, exactly the firmware extension KRISP proposes.
+//! In [`EnforcementMode::QueueMask`] it reproduces the baseline hardware:
+//! every kernel inherits the stream-scoped CU mask set through the
+//! CU-Masking API.
+//!
+//! Hosts drive the machine with an event pump:
+//!
+//! ```rust
+//! use krisp_sim::{Machine, MachineConfig, KernelDesc, SimEvent};
+//!
+//! let mut m = Machine::new(MachineConfig::default());
+//! let q = m.create_queue();
+//! m.push_dispatch(q, KernelDesc::new("gemm", 3.0e6, 60), 0);
+//! let mut finished = 0;
+//! while let Some(ev) = m.step() {
+//!     if matches!(ev, SimEvent::KernelCompleted { .. }) {
+//!         finished += 1;
+//!     }
+//! }
+//! assert_eq!(finished, 1);
+//! ```
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::allocator::MaskAllocator;
+use crate::counters::CuKernelCounters;
+use crate::engine::{Engine, KernelId};
+use crate::kernel::KernelDesc;
+use crate::mask::CuMask;
+use crate::power::{EnergyMeter, PowerModel};
+use crate::queue::{AqlPacket, BarrierPacket, DispatchPacket, HsaQueue, QueueId, QueueState, SignalId};
+use crate::time::{SimDuration, SimTime};
+use crate::topology::GpuTopology;
+
+/// How the packet processor decides each kernel's CU mask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EnforcementMode {
+    /// Baseline hardware: every kernel inherits its queue's CU mask
+    /// (AMD CU-Masking API semantics; also models MPS-style GPU%
+    /// restriction when the mask is the full device).
+    #[default]
+    QueueMask,
+    /// KRISP hardware: dispatch packets carrying a partition size are
+    /// given a freshly allocated per-kernel mask by the
+    /// [`MaskAllocator`]; legacy packets fall back to the queue mask.
+    KernelScoped,
+}
+
+/// Fixed dispatch-path latencies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DispatchCosts {
+    /// Host-side launch overhead applied to every kernel dispatch
+    /// (runtime packet assembly, doorbell, dispatcher pickup).
+    pub kernel_launch: SimDuration,
+    /// Resource-mask generation latency, applied only when the packet
+    /// processor allocates a kernel-scoped partition. The paper measured
+    /// a 1 µs tail for its Algorithm 1 implementation (§IV-D3).
+    pub mask_generation: SimDuration,
+}
+
+impl Default for DispatchCosts {
+    fn default() -> DispatchCosts {
+        DispatchCosts {
+            kernel_launch: SimDuration::from_micros(5),
+            mask_generation: SimDuration::from_micros(1),
+        }
+    }
+}
+
+/// Configuration for a [`Machine`].
+pub struct MachineConfig {
+    /// Device shape. Defaults to [`GpuTopology::MI50`].
+    pub topology: GpuTopology,
+    /// Power-model coefficients. Defaults to [`PowerModel::MI50`].
+    pub power: PowerModel,
+    /// Dispatch-path latencies.
+    pub costs: DispatchCosts,
+    /// Mask-enforcement mode.
+    pub mode: EnforcementMode,
+    /// Allocator used in [`EnforcementMode::KernelScoped`].
+    pub allocator: Box<dyn MaskAllocator>,
+    /// RNG seed for execution-time jitter.
+    pub seed: u64,
+    /// Lognormal sigma of the multiplicative kernel-duration jitter
+    /// (0.0 disables jitter; experiments use ~0.03 so that tail
+    /// latencies are meaningful).
+    pub jitter_sigma: f64,
+    /// Co-residency interference factor passed to the execution engine
+    /// (see [`crate::contention`]); 0.0 = ideal processor sharing.
+    pub sharing_penalty: f64,
+}
+
+impl fmt::Debug for MachineConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MachineConfig")
+            .field("topology", &self.topology)
+            .field("power", &self.power)
+            .field("costs", &self.costs)
+            .field("mode", &self.mode)
+            .field("seed", &self.seed)
+            .field("jitter_sigma", &self.jitter_sigma)
+            .field("sharing_penalty", &self.sharing_penalty)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> MachineConfig {
+        MachineConfig {
+            topology: GpuTopology::MI50,
+            power: PowerModel::MI50,
+            costs: DispatchCosts::default(),
+            mode: EnforcementMode::QueueMask,
+            allocator: Box::new(crate::allocator::FullMaskAllocator),
+            seed: 42,
+            jitter_sigma: 0.0,
+            sharing_penalty: crate::contention::DEFAULT_SHARING_PENALTY,
+        }
+    }
+}
+
+/// Events the machine reports to its host, in simulated-time order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimEvent {
+    /// A kernel began executing (after launch/mask-generation latency)
+    /// with the given enforced mask.
+    KernelStarted {
+        /// Queue the kernel came from.
+        queue: QueueId,
+        /// Correlation tag from the dispatch packet.
+        tag: u64,
+        /// When execution began.
+        at: SimTime,
+        /// The spatial partition the kernel runs in.
+        mask: CuMask,
+    },
+    /// A kernel finished; its queue is free to process the next packet.
+    KernelCompleted {
+        /// Queue the kernel came from.
+        queue: QueueId,
+        /// Correlation tag from the dispatch packet.
+        tag: u64,
+        /// Completion instant.
+        at: SimTime,
+    },
+    /// A barrier packet was consumed (its dependency, if any, was
+    /// satisfied). The paper's emulation uses this to trigger the
+    /// runtime callback that reconfigures the queue's CU mask.
+    BarrierConsumed {
+        /// Queue the barrier was on.
+        queue: QueueId,
+        /// Correlation tag from the barrier packet.
+        tag: u64,
+        /// Consumption instant.
+        at: SimTime,
+    },
+    /// A host timer registered with [`Machine::add_timer`] fired.
+    TimerFired {
+        /// Caller-chosen token.
+        token: u64,
+        /// Fire instant.
+        at: SimTime,
+    },
+}
+
+/// Errors from [`Machine`] configuration calls.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachineError {
+    /// The queue id was never created on this machine.
+    UnknownQueue(QueueId),
+    /// An empty CU mask was supplied; kernels could never progress.
+    EmptyMask,
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::UnknownQueue(q) => write!(f, "unknown queue {q}"),
+            MachineError::EmptyMask => write!(f, "empty CU mask"),
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TimerKind {
+    User(u64),
+    QueueDelay(QueueId),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct TimerEntry {
+    at: SimTime,
+    seq: u64,
+    kind: TimerKind,
+}
+
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &TimerEntry) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &TimerEntry) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A complete simulated GPU: queues, command processor, execution engine,
+/// resource monitor, and energy meter. See the [module docs](self).
+pub struct Machine {
+    topology: GpuTopology,
+    power: PowerModel,
+    costs: DispatchCosts,
+    mode: EnforcementMode,
+    allocator: Box<dyn MaskAllocator>,
+    jitter_sigma: f64,
+    rng: StdRng,
+
+    now: SimTime,
+    engine: Engine,
+    counters: CuKernelCounters,
+    energy: EnergyMeter,
+    busy_cu_seconds: f64,
+    service_cu_seconds: f64,
+
+    queues: Vec<HsaQueue>,
+    pending_dispatch: HashMap<QueueId, DispatchPacket>,
+    inflight: HashMap<KernelId, (QueueId, u64)>,
+    waiting_on_signal: HashMap<SignalId, (QueueId, u64)>,
+    completed_signals: HashSet<SignalId>,
+    next_signal: u64,
+
+    timers: BinaryHeap<TimerEntry>,
+    next_timer_seq: u64,
+    out: VecDeque<SimEvent>,
+}
+
+impl fmt::Debug for Machine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Machine")
+            .field("topology", &self.topology)
+            .field("now", &self.now)
+            .field("queues", &self.queues.len())
+            .field("inflight", &self.inflight.len())
+            .field("mode", &self.mode)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Machine {
+    /// Creates a machine from a configuration.
+    pub fn new(config: MachineConfig) -> Machine {
+        Machine {
+            topology: config.topology,
+            power: config.power,
+            costs: config.costs,
+            mode: config.mode,
+            allocator: config.allocator,
+            jitter_sigma: config.jitter_sigma,
+            rng: StdRng::seed_from_u64(config.seed),
+            now: SimTime::ZERO,
+            engine: Engine::with_sharing_penalty(config.topology, config.sharing_penalty),
+            counters: CuKernelCounters::new(config.topology),
+            energy: EnergyMeter::new(),
+            busy_cu_seconds: 0.0,
+            service_cu_seconds: 0.0,
+            queues: Vec::new(),
+            pending_dispatch: HashMap::new(),
+            inflight: HashMap::new(),
+            waiting_on_signal: HashMap::new(),
+            completed_signals: HashSet::new(),
+            next_signal: 0,
+            timers: BinaryHeap::new(),
+            next_timer_seq: 0,
+            out: VecDeque::new(),
+        }
+    }
+
+    /// The device topology.
+    pub fn topology(&self) -> GpuTopology {
+        self.topology
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Energy consumed so far, in joules (integrated over advanced time).
+    pub fn energy_joules(&self) -> f64 {
+        self.energy.joules()
+    }
+
+    /// Integral of occupied CUs over time, in CU·seconds: how much of the
+    /// compute array was *allocated* (powered and reserved by some
+    /// kernel's mask). `busy_cu_seconds / (total_cus * elapsed)` is the
+    /// allocation-level utilization of Fig 1.
+    pub fn busy_cu_seconds(&self) -> f64 {
+        self.busy_cu_seconds
+    }
+
+    /// Integral of delivered execution service over time, in CU·seconds:
+    /// how much *useful work* the array performed. Always ≤ the busy
+    /// integral when no kernel rides its bandwidth floor; the gap between
+    /// the two is the fine-grain under-utilization KRISP reclaims.
+    pub fn service_cu_seconds(&self) -> f64 {
+        self.service_cu_seconds
+    }
+
+    /// The current per-CU kernel counters (the Resource Monitor).
+    pub fn counters(&self) -> &CuKernelCounters {
+        &self.counters
+    }
+
+    /// The mask-enforcement mode this machine was built with.
+    pub fn mode(&self) -> EnforcementMode {
+        self.mode
+    }
+
+    /// Creates a new HSA queue (stream) with the full-device CU mask.
+    pub fn create_queue(&mut self) -> QueueId {
+        let id = QueueId(self.queues.len() as u32);
+        self.queues.push(HsaQueue::new(id, &self.topology));
+        id
+    }
+
+    /// Sets a queue's stream-scoped CU mask (the CU-Masking API /
+    /// emulated IOCTL). Takes effect for subsequently dispatched kernels.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::UnknownQueue`] if the queue doesn't exist,
+    /// [`MachineError::EmptyMask`] if the mask selects no CUs.
+    pub fn set_queue_mask(&mut self, queue: QueueId, mask: CuMask) -> Result<(), MachineError> {
+        if mask.is_empty() {
+            return Err(MachineError::EmptyMask);
+        }
+        let q = self
+            .queues
+            .get_mut(queue.0 as usize)
+            .ok_or(MachineError::UnknownQueue(queue))?;
+        q.cu_mask = mask;
+        Ok(())
+    }
+
+    /// A queue's current CU mask.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::UnknownQueue`] if the queue doesn't exist.
+    pub fn queue_mask(&self, queue: QueueId) -> Result<CuMask, MachineError> {
+        self.queues
+            .get(queue.0 as usize)
+            .map(|q| q.cu_mask)
+            .ok_or(MachineError::UnknownQueue(queue))
+    }
+
+    /// Pushes any AQL packet onto a queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue was never created (queue ids are only minted
+    /// by [`Machine::create_queue`], so this indicates a host bug).
+    pub fn push_packet(&mut self, queue: QueueId, packet: AqlPacket) {
+        let q = self
+            .queues
+            .get_mut(queue.0 as usize)
+            .unwrap_or_else(|| panic!("unknown queue {queue}"));
+        q.packets.push_back(packet);
+    }
+
+    /// Convenience: pushes a legacy dispatch packet (inherits the queue
+    /// mask).
+    pub fn push_dispatch(&mut self, queue: QueueId, kernel: KernelDesc, tag: u64) {
+        self.push_packet(
+            queue,
+            AqlPacket::Dispatch(DispatchPacket {
+                kernel,
+                partition_cus: None,
+                tag,
+            }),
+        );
+    }
+
+    /// Convenience: pushes a KRISP dispatch packet carrying a partition
+    /// size (honored in [`EnforcementMode::KernelScoped`]).
+    pub fn push_sized_dispatch(
+        &mut self,
+        queue: QueueId,
+        kernel: KernelDesc,
+        partition_cus: u16,
+        tag: u64,
+    ) {
+        self.push_packet(
+            queue,
+            AqlPacket::Dispatch(DispatchPacket {
+                kernel,
+                partition_cus: Some(partition_cus),
+                tag,
+            }),
+        );
+    }
+
+    /// Convenience: pushes a barrier packet.
+    pub fn push_barrier(&mut self, queue: QueueId, wait_on: Option<SignalId>, tag: u64) {
+        self.push_packet(queue, AqlPacket::Barrier(BarrierPacket { wait_on, tag }));
+    }
+
+    /// Creates a fresh host-completable signal.
+    pub fn create_signal(&mut self) -> SignalId {
+        let id = SignalId(self.next_signal);
+        self.next_signal += 1;
+        id
+    }
+
+    /// Completes a signal, unblocking any barrier waiting on it.
+    /// Completing a signal twice is a no-op.
+    pub fn complete_signal(&mut self, signal: SignalId) {
+        if !self.completed_signals.insert(signal) {
+            return;
+        }
+        if let Some((queue, tag)) = self.waiting_on_signal.remove(&signal) {
+            self.queues[queue.0 as usize].state = QueueState::Idle;
+            self.out.push_back(SimEvent::BarrierConsumed {
+                queue,
+                tag,
+                at: self.now,
+            });
+        }
+    }
+
+    /// Registers a host timer that fires `delay` after the current
+    /// instant, reporting [`SimEvent::TimerFired`] with `token`.
+    pub fn add_timer(&mut self, delay: SimDuration, token: u64) {
+        self.push_timer(self.now + delay, TimerKind::User(token));
+    }
+
+    /// The instant of the next internal event, or `None` when the machine
+    /// is fully drained. Buffered output events and ready queues count as
+    /// events at the current instant. Used to synchronize several
+    /// machines conservatively (multi-GPU serving): always step the
+    /// machine with the earliest next event.
+    pub fn next_event_at(&self) -> Option<SimTime> {
+        if !self.out.is_empty() || self.queues.iter().any(|q| q.ready()) {
+            return Some(self.now);
+        }
+        let completion = self.engine.next_completion(self.now).map(|(t, _)| t);
+        let timer = self.timers.peek().map(|t| t.at);
+        match (completion, timer) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Advances the simulation to its next event and returns it, or
+    /// `None` when no work remains (all queues drained, no timers).
+    ///
+    /// Events are reported in nondecreasing simulated-time order;
+    /// simultaneous events are ordered deterministically (kernel
+    /// completions before timers, then by insertion order).
+    pub fn step(&mut self) -> Option<SimEvent> {
+        loop {
+            if let Some(ev) = self.out.pop_front() {
+                return Some(ev);
+            }
+            self.pump_queues();
+            if let Some(ev) = self.out.pop_front() {
+                return Some(ev);
+            }
+            let completion = self.engine.next_completion(self.now);
+            let timer_at = self.timers.peek().map(|t| t.at);
+            let completion_first = match (completion, timer_at) {
+                (None, None) => return None,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (Some((tc, _)), Some(tt)) => tc <= tt,
+            };
+            if completion_first {
+                let (tc, id) = completion.expect("checked above");
+                self.advance_time_to(tc);
+                self.finish_kernel(id);
+            } else {
+                let tt = timer_at.expect("checked above");
+                self.advance_time_to(tt);
+                let entry = self.timers.pop().expect("peeked");
+                match entry.kind {
+                    TimerKind::User(token) => self.out.push_back(SimEvent::TimerFired {
+                        token,
+                        at: self.now,
+                    }),
+                    TimerKind::QueueDelay(q) => self.start_pending_dispatch(q),
+                }
+            }
+        }
+    }
+
+    /// Runs the machine until fully idle, discarding events. Useful in
+    /// tests and for draining after measurement windows.
+    pub fn run_to_idle(&mut self) {
+        while self.step().is_some() {}
+    }
+
+    /// Advances simulated time with the device idle — e.g. to account for
+    /// think-time energy. No queue may make progress during the span.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any kernel is in flight or a timer would fire within the
+    /// span (that would reorder events).
+    pub fn advance_idle(&mut self, dt: SimDuration) {
+        assert!(self.engine.is_idle(), "advance_idle with kernels in flight");
+        let target = self.now + dt;
+        assert!(
+            self.timers.peek().map(|t| t.at).is_none_or(|t| t >= target),
+            "advance_idle would skip a pending timer"
+        );
+        self.advance_time_to(target);
+    }
+
+    fn push_timer(&mut self, at: SimTime, kind: TimerKind) {
+        let seq = self.next_timer_seq;
+        self.next_timer_seq += 1;
+        self.timers.push(TimerEntry { at, seq, kind });
+    }
+
+    fn advance_time_to(&mut self, t: SimTime) {
+        debug_assert!(t >= self.now, "time went backwards");
+        let dt = t.saturating_since(self.now);
+        if !dt.is_zero() {
+            let busy = self.engine.busy_cus();
+            let service = self.engine.total_service();
+            let power = self
+                .power
+                .power_w(busy, self.engine.busy_ses(), service);
+            self.energy.accumulate(power, dt);
+            self.busy_cu_seconds += busy as f64 * dt.as_secs_f64();
+            self.service_cu_seconds += service * dt.as_secs_f64();
+            self.engine.advance(dt);
+            self.now = t;
+        }
+    }
+
+    fn finish_kernel(&mut self, id: KernelId) {
+        let mask = self.engine.complete(id);
+        self.counters.release(&mask);
+        let (queue, tag) = self
+            .inflight
+            .remove(&id)
+            .expect("completed kernel not tracked");
+        self.queues[queue.0 as usize].state = QueueState::Idle;
+        self.out.push_back(SimEvent::KernelCompleted {
+            queue,
+            tag,
+            at: self.now,
+        });
+    }
+
+    fn pump_queues(&mut self) {
+        for qi in 0..self.queues.len() {
+            loop {
+                if !self.queues[qi].ready() {
+                    break;
+                }
+                let packet = self.queues[qi].packets.pop_front().expect("ready queue");
+                match packet {
+                    AqlPacket::Barrier(b) => {
+                        let queue = self.queues[qi].id;
+                        match b.wait_on {
+                            Some(sig) if !self.completed_signals.contains(&sig) => {
+                                self.queues[qi].state = QueueState::BlockedOnSignal(sig);
+                                self.waiting_on_signal.insert(sig, (queue, b.tag));
+                                break;
+                            }
+                            _ => {
+                                self.out.push_back(SimEvent::BarrierConsumed {
+                                    queue,
+                                    tag: b.tag,
+                                    at: self.now,
+                                });
+                            }
+                        }
+                    }
+                    AqlPacket::Dispatch(d) => {
+                        let queue = self.queues[qi].id;
+                        let uses_allocator = self.mode == EnforcementMode::KernelScoped
+                            && d.partition_cus.is_some();
+                        let mut delay = self.costs.kernel_launch;
+                        if uses_allocator {
+                            delay += self.costs.mask_generation;
+                        }
+                        self.queues[qi].state = QueueState::Dispatching;
+                        self.pending_dispatch.insert(queue, d);
+                        self.push_timer(self.now + delay, TimerKind::QueueDelay(queue));
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    fn start_pending_dispatch(&mut self, queue: QueueId) {
+        let d = self
+            .pending_dispatch
+            .remove(&queue)
+            .expect("queue-delay timer without pending dispatch");
+        let mask = match (self.mode, d.partition_cus) {
+            (EnforcementMode::KernelScoped, Some(n)) => {
+                self.allocator.allocate(n, &self.counters, &self.topology)
+            }
+            _ => self.queues[queue.0 as usize].cu_mask,
+        };
+        assert!(
+            !mask.is_empty(),
+            "allocator/queue produced an empty mask for {queue}"
+        );
+        let jitter = self.sample_jitter();
+        let id = self
+            .engine
+            .dispatch(
+                d.kernel.work * jitter,
+                d.kernel.parallelism,
+                d.kernel.bandwidth_floor,
+                mask,
+            )
+            .expect("non-empty mask");
+        self.counters.assign(&mask);
+        self.inflight.insert(id, (queue, d.tag));
+        self.queues[queue.0 as usize].state = QueueState::Running(id);
+        self.out.push_back(SimEvent::KernelStarted {
+            queue,
+            tag: d.tag,
+            at: self.now,
+            mask,
+        });
+    }
+
+    /// Mean-one lognormal multiplicative jitter.
+    fn sample_jitter(&mut self) -> f64 {
+        if self.jitter_sigma == 0.0 {
+            return 1.0;
+        }
+        // Box-Muller from two uniforms; StdRng is seeded, so runs are
+        // reproducible.
+        let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let sigma = self.jitter_sigma;
+        (sigma * z - sigma * sigma / 2.0).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig::default())
+    }
+
+    fn drain(m: &mut Machine) -> Vec<SimEvent> {
+        let mut evs = Vec::new();
+        while let Some(ev) = m.step() {
+            evs.push(ev);
+        }
+        evs
+    }
+
+    #[test]
+    fn single_dispatch_lifecycle() {
+        let mut m = machine();
+        let q = m.create_queue();
+        m.push_dispatch(q, KernelDesc::new("k", 6.0e6, 60), 11);
+        let evs = drain(&mut m);
+        assert_eq!(evs.len(), 2);
+        match (&evs[0], &evs[1]) {
+            (
+                SimEvent::KernelStarted { tag: t0, at: a0, mask, .. },
+                SimEvent::KernelCompleted { tag: t1, at: a1, .. },
+            ) => {
+                assert_eq!((*t0, *t1), (11, 11));
+                assert_eq!(a0.as_nanos(), 5_000); // launch overhead
+                assert_eq!(a1.as_nanos(), 5_000 + 100_000);
+                assert_eq!(mask.count(), 60);
+            }
+            other => panic!("unexpected events {other:?}"),
+        }
+        assert_eq!(m.counters().total(), 0);
+        assert!(m.energy_joules() > 0.0);
+    }
+
+    #[test]
+    fn queue_serializes_kernels() {
+        let mut m = machine();
+        let q = m.create_queue();
+        m.push_dispatch(q, KernelDesc::new("a", 6.0e6, 60), 0);
+        m.push_dispatch(q, KernelDesc::new("b", 6.0e6, 60), 1);
+        let evs = drain(&mut m);
+        let tags: Vec<u64> = evs
+            .iter()
+            .filter_map(|e| match e {
+                SimEvent::KernelCompleted { tag, .. } => Some(*tag),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(tags, vec![0, 1]);
+        // Second kernel started only after the first completed.
+        let start_b = evs.iter().find_map(|e| match e {
+            SimEvent::KernelStarted { tag: 1, at, .. } => Some(*at),
+            _ => None,
+        });
+        let end_a = evs.iter().find_map(|e| match e {
+            SimEvent::KernelCompleted { tag: 0, at, .. } => Some(*at),
+            _ => None,
+        });
+        assert!(start_b.unwrap() > end_a.unwrap());
+    }
+
+    #[test]
+    fn queue_mask_restricts_kernels() {
+        let mut m = machine();
+        let q = m.create_queue();
+        let mask = CuMask::first_n(15, &m.topology());
+        m.set_queue_mask(q, mask).unwrap();
+        m.push_dispatch(q, KernelDesc::new("k", 1.5e6, 60), 0);
+        let evs = drain(&mut m);
+        let started_mask = evs.iter().find_map(|e| match e {
+            SimEvent::KernelStarted { mask, .. } => Some(*mask),
+            _ => None,
+        });
+        assert_eq!(started_mask.unwrap(), mask);
+        // 1.5e6 CU*ns on 15 CUs = 100us.
+        let done = evs.iter().find_map(|e| match e {
+            SimEvent::KernelCompleted { at, .. } => Some(*at),
+            _ => None,
+        });
+        assert_eq!(done.unwrap().as_nanos(), 5_000 + 100_000);
+    }
+
+    #[test]
+    fn two_queues_share_the_device() {
+        let mut m = Machine::new(MachineConfig {
+            sharing_penalty: 0.25,
+            ..MachineConfig::default()
+        });
+        let qa = m.create_queue();
+        let qb = m.create_queue();
+        // Same mask: both on SE0's 15 CUs -> processor sharing.
+        let mask = CuMask::first_n(15, &m.topology());
+        m.set_queue_mask(qa, mask).unwrap();
+        m.set_queue_mask(qb, mask).unwrap();
+        m.push_dispatch(qa, KernelDesc::new("a", 1.5e6, 60), 0);
+        m.push_dispatch(qb, KernelDesc::new("b", 1.5e6, 60), 1);
+        let evs = drain(&mut m);
+        let done_at: Vec<u64> = evs
+            .iter()
+            .filter_map(|e| match e {
+                SimEvent::KernelCompleted { at, .. } => Some(at.as_nanos()),
+                _ => None,
+            })
+            .collect();
+        // Each gets 6 CUs (gamma = 0.25) -> 250us each, finishing together.
+        assert_eq!(done_at, vec![5_000 + 250_000, 5_000 + 250_000]);
+    }
+
+    #[test]
+    fn kernel_scoped_mode_consults_allocator() {
+        #[derive(Debug)]
+        struct FirstN;
+        impl MaskAllocator for FirstN {
+            fn allocate(
+                &mut self,
+                requested: u16,
+                _counters: &CuKernelCounters,
+                topo: &GpuTopology,
+            ) -> CuMask {
+                CuMask::first_n(requested, topo)
+            }
+        }
+        let mut m = Machine::new(MachineConfig {
+            mode: EnforcementMode::KernelScoped,
+            allocator: Box::new(FirstN),
+            ..MachineConfig::default()
+        });
+        let q = m.create_queue();
+        m.push_sized_dispatch(q, KernelDesc::new("k", 1.0e6, 60), 10, 0);
+        let evs = drain(&mut m);
+        let (started_at, mask) = evs
+            .iter()
+            .find_map(|e| match e {
+                SimEvent::KernelStarted { at, mask, .. } => Some((*at, *mask)),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(mask.count(), 10);
+        // launch (5us) + mask generation (1us)
+        assert_eq!(started_at.as_nanos(), 6_000);
+    }
+
+    #[test]
+    fn legacy_packets_ignore_allocator_in_kernel_scoped_mode() {
+        let mut m = Machine::new(MachineConfig {
+            mode: EnforcementMode::KernelScoped,
+            ..MachineConfig::default()
+        });
+        let q = m.create_queue();
+        let mask = CuMask::first_n(20, &m.topology());
+        m.set_queue_mask(q, mask).unwrap();
+        m.push_dispatch(q, KernelDesc::new("k", 1.0e6, 60), 0);
+        let evs = drain(&mut m);
+        let started_mask = evs.iter().find_map(|e| match e {
+            SimEvent::KernelStarted { mask, .. } => Some(*mask),
+            _ => None,
+        });
+        assert_eq!(started_mask.unwrap(), mask);
+    }
+
+    #[test]
+    fn barrier_without_dependency_is_consumed_immediately() {
+        let mut m = machine();
+        let q = m.create_queue();
+        m.push_barrier(q, None, 99);
+        let evs = drain(&mut m);
+        assert_eq!(
+            evs,
+            vec![SimEvent::BarrierConsumed {
+                queue: q,
+                tag: 99,
+                at: SimTime::ZERO
+            }]
+        );
+    }
+
+    #[test]
+    fn barrier_blocks_until_signal() {
+        let mut m = machine();
+        let q = m.create_queue();
+        let sig = m.create_signal();
+        m.push_barrier(q, Some(sig), 1);
+        m.push_dispatch(q, KernelDesc::new("k", 6.0e6, 60), 2);
+        // Nothing can happen yet except... nothing: the barrier blocks.
+        assert_eq!(m.step(), None);
+        m.complete_signal(sig);
+        let evs = drain(&mut m);
+        assert!(matches!(evs[0], SimEvent::BarrierConsumed { tag: 1, .. }));
+        assert!(matches!(
+            evs.last(),
+            Some(SimEvent::KernelCompleted { tag: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn pre_completed_signal_does_not_block() {
+        let mut m = machine();
+        let q = m.create_queue();
+        let sig = m.create_signal();
+        m.complete_signal(sig);
+        m.push_barrier(q, Some(sig), 5);
+        let evs = drain(&mut m);
+        assert!(matches!(evs[0], SimEvent::BarrierConsumed { tag: 5, .. }));
+    }
+
+    #[test]
+    fn user_timers_fire_in_order() {
+        let mut m = machine();
+        m.add_timer(SimDuration::from_micros(10), 1);
+        m.add_timer(SimDuration::from_micros(5), 2);
+        let evs = drain(&mut m);
+        let tokens: Vec<u64> = evs
+            .iter()
+            .filter_map(|e| match e {
+                SimEvent::TimerFired { token, .. } => Some(*token),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(tokens, vec![2, 1]);
+        assert_eq!(m.now().as_nanos(), 10_000);
+    }
+
+    #[test]
+    fn set_queue_mask_validates() {
+        let mut m = machine();
+        let q = m.create_queue();
+        assert_eq!(
+            m.set_queue_mask(q, CuMask::EMPTY),
+            Err(MachineError::EmptyMask)
+        );
+        assert_eq!(
+            m.set_queue_mask(QueueId(99), CuMask::first_n(1, &m.topology())),
+            Err(MachineError::UnknownQueue(QueueId(99)))
+        );
+    }
+
+    #[test]
+    fn energy_accumulates_only_while_time_advances() {
+        let mut m = machine();
+        assert_eq!(m.energy_joules(), 0.0);
+        m.advance_idle(SimDuration::from_millis(100));
+        // Idle device: static power only = 25 W * 0.1 s = 2.5 J.
+        assert!((m.energy_joules() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_for_a_seed() {
+        let run = |seed: u64| {
+            let mut m = Machine::new(MachineConfig {
+                seed,
+                jitter_sigma: 0.05,
+                ..MachineConfig::default()
+            });
+            let q = m.create_queue();
+            m.push_dispatch(q, KernelDesc::new("k", 6.0e6, 60), 0);
+            drain(&mut m);
+            m.now().as_nanos()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn utilization_integrals_accumulate() {
+        let mut m = machine();
+        let q = m.create_queue();
+        m.set_queue_mask(q, CuMask::first_n(30, &m.topology())).unwrap();
+        // Kernel with parallelism 15 on a 30-CU mask: 30 CUs busy but
+        // only 15 CUs of service — fine-grain under-utilization.
+        m.push_dispatch(q, KernelDesc::new("k", 1.5e7, 15), 0);
+        drain(&mut m);
+        let exec_secs = 1.0e-3; // 1.5e7 / 15 CUs = 1 ms
+        assert!((m.busy_cu_seconds() - 30.0 * exec_secs).abs() < 1e-6);
+        assert!((m.service_cu_seconds() - 15.0 * exec_secs).abs() < 1e-6);
+    }
+
+    #[test]
+    fn counters_track_inflight_kernels() {
+        let mut m = machine();
+        let q = m.create_queue();
+        m.set_queue_mask(q, CuMask::first_n(4, &m.topology())).unwrap();
+        m.push_dispatch(q, KernelDesc::new("k", 1.0e9, 60), 0);
+        // Step until the kernel starts.
+        loop {
+            match m.step() {
+                Some(SimEvent::KernelStarted { .. }) => break,
+                Some(_) => continue,
+                None => panic!("kernel never started"),
+            }
+        }
+        assert_eq!(m.counters().total(), 4);
+        drain(&mut m);
+        assert_eq!(m.counters().total(), 0);
+    }
+}

@@ -1,0 +1,211 @@
+//! Small statistics toolkit used across the evaluation: percentiles
+//! (nearest-rank, as tail-latency SLOs are usually defined), means,
+//! geometric means (the paper's cross-model aggregation), and a
+//! [`Summary`] convenience type.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Nearest-rank percentile of a sample set (`p` in `0.0..=100.0`).
+///
+/// Returns `None` on an empty slice. The input need not be sorted.
+///
+/// # Examples
+///
+/// ```
+/// use krisp_sim::stats::percentile;
+///
+/// let xs = [5.0, 1.0, 3.0, 2.0, 4.0];
+/// assert_eq!(percentile(&xs, 50.0), Some(3.0));
+/// assert_eq!(percentile(&xs, 95.0), Some(5.0));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `p` is outside `0.0..=100.0` or any sample is NaN.
+pub fn percentile(samples: &[f64], p: f64) -> Option<f64> {
+    assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+    let n = sorted.len();
+    let rank = ((p / 100.0 * n as f64).ceil() as usize).clamp(1, n);
+    Some(sorted[rank - 1])
+}
+
+/// Arithmetic mean; `None` on an empty slice.
+pub fn mean(samples: &[f64]) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    Some(samples.iter().sum::<f64>() / samples.len() as f64)
+}
+
+/// Geometric mean; `None` on an empty slice.
+///
+/// # Panics
+///
+/// Panics if any sample is non-positive (geometric means are undefined
+/// there).
+pub fn geomean(samples: &[f64]) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let log_sum: f64 = samples
+        .iter()
+        .map(|&x| {
+            assert!(x > 0.0, "geomean requires positive samples, got {x}");
+            x.ln()
+        })
+        .sum();
+    Some((log_sum / samples.len() as f64).exp())
+}
+
+/// Five-number-style summary of a sample set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median (p50, nearest rank).
+    pub p50: f64,
+    /// 95th percentile (nearest rank) — the paper's tail-latency metric.
+    pub p95: f64,
+    /// 99th percentile (nearest rank).
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a non-empty sample set; `None` if empty.
+    pub fn from_samples(samples: &[f64]) -> Option<Summary> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+        Some(Summary {
+            count: sorted.len(),
+            mean: mean(&sorted).expect("non-empty"),
+            min: sorted[0],
+            p50: percentile(&sorted, 50.0).expect("non-empty"),
+            p95: percentile(&sorted, 95.0).expect("non-empty"),
+            p99: percentile(&sorted, 99.0).expect("non-empty"),
+            max: *sorted.last().expect("non-empty"),
+        })
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} min={:.3} p50={:.3} p95={:.3} p99={:.3} max={:.3}",
+            self.count, self.mean, self.min, self.p50, self.p95, self.p99, self.max
+        )
+    }
+}
+
+/// Quartile boxplot statistics (used for the Fig 15 mixed-model
+/// distributions).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoxStats {
+    /// Minimum (lower whisker).
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum (upper whisker).
+    pub max: f64,
+}
+
+impl BoxStats {
+    /// Computes quartiles over a non-empty sample set; `None` if empty.
+    pub fn from_samples(samples: &[f64]) -> Option<BoxStats> {
+        if samples.is_empty() {
+            return None;
+        }
+        Some(BoxStats {
+            min: percentile(samples, 0.0).expect("non-empty"),
+            q1: percentile(samples, 25.0).expect("non-empty"),
+            median: percentile(samples, 50.0).expect("non-empty"),
+            q3: percentile(samples, 75.0).expect("non-empty"),
+            max: percentile(samples, 100.0).expect("non-empty"),
+        })
+    }
+}
+
+impl fmt::Display for BoxStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:.3} | {:.3} {:.3} {:.3} | {:.3}]",
+            self.min, self.q1, self.median, self.q3, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&xs, 95.0), Some(95.0));
+        assert_eq!(percentile(&xs, 0.0), Some(1.0));
+        assert_eq!(percentile(&xs, 100.0), Some(100.0));
+        assert_eq!(percentile(&[], 50.0), None);
+    }
+
+    #[test]
+    fn percentile_single_element() {
+        assert_eq!(percentile(&[42.0], 99.0), Some(42.0));
+        assert_eq!(percentile(&[42.0], 1.0), Some(42.0));
+    }
+
+    #[test]
+    fn mean_and_geomean() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), Some(2.0));
+        let g = geomean(&[1.0, 4.0]).unwrap();
+        assert!((g - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive samples")]
+    fn geomean_rejects_zero() {
+        geomean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn summary_from_samples() {
+        let s = Summary::from_samples(&[4.0, 1.0, 3.0, 2.0]).unwrap();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.p50, 2.0);
+        assert_eq!(s.mean, 2.5);
+        assert!(Summary::from_samples(&[]).is_none());
+    }
+
+    #[test]
+    fn box_stats_quartiles() {
+        let b = BoxStats::from_samples(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(b.min, 1.0);
+        assert_eq!(b.q1, 1.0);
+        assert_eq!(b.median, 2.0);
+        assert_eq!(b.q3, 3.0);
+        assert_eq!(b.max, 4.0);
+    }
+}

@@ -1,0 +1,237 @@
+//! Kernel-timeline recording: who ran where, when, in which partition.
+//!
+//! A [`TraceLog`] collects the start/end/mask of every kernel a host
+//! observes and renders occupancy as an ASCII Gantt chart (CU rows ×
+//! time bins), making the difference between stream-scoped and
+//! kernel-scoped partitions *visible*: under KRISP the letters change
+//! footprint at every kernel boundary.
+
+use std::collections::HashMap;
+
+use crate::mask::CuMask;
+use crate::time::SimTime;
+use crate::topology::GpuTopology;
+
+/// One completed kernel execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelSpan {
+    /// Queue/stream index the kernel ran on.
+    pub queue: u32,
+    /// Host correlation tag.
+    pub tag: u64,
+    /// Execution start.
+    pub start: SimTime,
+    /// Execution end.
+    pub end: SimTime,
+    /// The spatial partition it ran in.
+    pub mask: CuMask,
+}
+
+/// Recorder for kernel spans.
+///
+/// # Examples
+///
+/// ```
+/// use krisp_sim::tracelog::TraceLog;
+/// use krisp_sim::{CuMask, GpuTopology, SimTime};
+///
+/// let topo = GpuTopology::MI50;
+/// let mut log = TraceLog::new();
+/// log.record_start(0, 0, SimTime::from_nanos(0), CuMask::first_n(15, &topo));
+/// log.record_end(0, 0, SimTime::from_nanos(1_000));
+/// assert_eq!(log.spans().len(), 1);
+/// let chart = log.gantt(&topo, 10);
+/// assert!(chart.lines().count() > 60); // one row per CU + axis
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TraceLog {
+    spans: Vec<KernelSpan>,
+    open: HashMap<(u32, u64), (SimTime, CuMask)>,
+}
+
+impl TraceLog {
+    /// Creates an empty log.
+    pub fn new() -> TraceLog {
+        TraceLog::default()
+    }
+
+    /// Records a kernel starting (pair with [`TraceLog::record_end`]).
+    pub fn record_start(&mut self, queue: u32, tag: u64, at: SimTime, mask: CuMask) {
+        self.open.insert((queue, tag), (at, mask));
+    }
+
+    /// Records a kernel completing. Unmatched completions (no prior
+    /// start) are ignored, so logs can be attached mid-run.
+    pub fn record_end(&mut self, queue: u32, tag: u64, at: SimTime) {
+        if let Some((start, mask)) = self.open.remove(&(queue, tag)) {
+            self.spans.push(KernelSpan {
+                queue,
+                tag,
+                start,
+                end: at,
+                mask,
+            });
+        }
+    }
+
+    /// The completed spans, in completion order.
+    pub fn spans(&self) -> &[KernelSpan] {
+        &self.spans
+    }
+
+    /// Earliest start and latest end over all spans (`None` if empty).
+    pub fn extent(&self) -> Option<(SimTime, SimTime)> {
+        let start = self.spans.iter().map(|s| s.start).min()?;
+        let end = self.spans.iter().map(|s| s.end).max()?;
+        Some((start, end))
+    }
+
+    /// Renders a CU × time occupancy chart with `cols` time bins.
+    /// Streams print as letters (`A`, `B`, …), idle CUs as `.`, and CUs
+    /// claimed by several streams in the same bin as `#`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols` is zero.
+    pub fn gantt(&self, topo: &GpuTopology, cols: usize) -> String {
+        assert!(cols > 0, "need at least one time bin");
+        let Some((t0, t1)) = self.extent() else {
+            return String::from("(empty trace)\n");
+        };
+        let span_ns = (t1.as_nanos() - t0.as_nanos()).max(1);
+        let total = topo.total_cus() as usize;
+        // cell[cu][bin] = None (idle) | Some(queue) | Some(u32::MAX) (shared)
+        let mut cells: Vec<Vec<Option<u32>>> = vec![vec![None; cols]; total];
+        for s in &self.spans {
+            let b0 = ((s.start.as_nanos() - t0.as_nanos()) * cols as u64 / span_ns)
+                .min(cols as u64 - 1) as usize;
+            let b1 = ((s.end.as_nanos().saturating_sub(1).max(s.start.as_nanos())
+                - t0.as_nanos())
+                * cols as u64
+                / span_ns)
+                .min(cols as u64 - 1) as usize;
+            for cu in &s.mask {
+                for bin in &mut cells[usize::from(cu)][b0..=b1] {
+                    *bin = match *bin {
+                        None => Some(s.queue),
+                        Some(q) if q == s.queue => Some(q),
+                        Some(_) => Some(u32::MAX),
+                    };
+                }
+            }
+        }
+        let mut out = String::new();
+        for (i, row) in cells.iter().enumerate().rev() {
+            let cu = crate::topology::CuId(i as u16);
+            let se = topo.se_of(cu);
+            out.push_str(&format!("{se} CU{:>2} |", topo.index_in_se(cu)));
+            for cell in row {
+                out.push(match cell {
+                    None => '.',
+                    Some(u32::MAX) => '#',
+                    Some(q) => (b'A' + (*q % 26) as u8) as char,
+                });
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "        +{}  ({} -> {})\n",
+            "-".repeat(cols),
+            t0,
+            t1
+        ));
+        out
+    }
+
+    /// Mean number of occupied CUs per time bin — a coarse utilization
+    /// profile over the trace's extent.
+    pub fn occupancy_profile(&self, topo: &GpuTopology, cols: usize) -> Vec<f64> {
+        assert!(cols > 0, "need at least one time bin");
+        let Some((t0, t1)) = self.extent() else {
+            return vec![0.0; cols];
+        };
+        let span_ns = (t1.as_nanos() - t0.as_nanos()).max(1) as f64;
+        let bin_ns = span_ns / cols as f64;
+        let mut busy_ns = vec![0.0f64; cols];
+        for s in &self.spans {
+            let cus = s.mask.count() as f64;
+            let s0 = (s.start.as_nanos() - t0.as_nanos()) as f64;
+            let s1 = (s.end.as_nanos() - t0.as_nanos()) as f64;
+            for (b, slot) in busy_ns.iter_mut().enumerate() {
+                let lo = b as f64 * bin_ns;
+                let hi = lo + bin_ns;
+                let overlap = (s1.min(hi) - s0.max(lo)).max(0.0);
+                *slot += overlap * cus;
+            }
+        }
+        busy_ns
+            .into_iter()
+            .map(|ns| ns / bin_ns / topo.total_cus() as f64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::CuId;
+
+    fn topo() -> GpuTopology {
+        GpuTopology::MI50
+    }
+
+    #[test]
+    fn spans_pair_starts_with_ends() {
+        let mut log = TraceLog::new();
+        let m = CuMask::first_n(4, &topo());
+        log.record_start(1, 7, SimTime::from_nanos(10), m);
+        log.record_end(1, 7, SimTime::from_nanos(30));
+        log.record_end(9, 9, SimTime::from_nanos(40)); // unmatched, ignored
+        assert_eq!(log.spans().len(), 1);
+        let s = &log.spans()[0];
+        assert_eq!((s.queue, s.tag), (1, 7));
+        assert_eq!(s.mask.count(), 4);
+        assert_eq!(log.extent(), Some((SimTime::from_nanos(10), SimTime::from_nanos(30))));
+    }
+
+    #[test]
+    fn gantt_marks_streams_and_sharing() {
+        let t = topo();
+        let mut log = TraceLog::new();
+        let a: CuMask = [CuId(0)].into_iter().collect();
+        let b: CuMask = [CuId(0), CuId(1)].into_iter().collect();
+        log.record_start(0, 0, SimTime::from_nanos(0), a);
+        log.record_end(0, 0, SimTime::from_nanos(100));
+        log.record_start(1, 0, SimTime::from_nanos(0), b);
+        log.record_end(1, 0, SimTime::from_nanos(100));
+        let chart = log.gantt(&t, 4);
+        let rows: Vec<&str> = chart.lines().collect();
+        // Rows print top-down from the last CU; CU0 is second-to-last.
+        let cu0 = rows[rows.len() - 2];
+        let cu1 = rows[rows.len() - 3];
+        assert!(cu0.ends_with("####"), "cu0 row: {cu0}");
+        assert!(cu1.ends_with("BBBB"), "cu1 row: {cu1}");
+    }
+
+    #[test]
+    fn occupancy_profile_integrates_masks() {
+        let t = topo();
+        let mut log = TraceLog::new();
+        // 30 CUs busy for the first half of the extent, idle after.
+        log.record_start(0, 0, SimTime::from_nanos(0), CuMask::first_n(30, &t));
+        log.record_end(0, 0, SimTime::from_nanos(100));
+        log.record_start(0, 1, SimTime::from_nanos(100), CuMask::first_n(1, &t));
+        log.record_end(0, 1, SimTime::from_nanos(200));
+        let profile = log.occupancy_profile(&t, 2);
+        assert!((profile[0] - 0.5).abs() < 1e-9);
+        assert!((profile[1] - 1.0 / 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_log_renders_gracefully() {
+        let log = TraceLog::new();
+        assert_eq!(log.gantt(&topo(), 5), "(empty trace)\n");
+        assert_eq!(log.extent(), None);
+        assert_eq!(log.occupancy_profile(&topo(), 3), vec![0.0; 3]);
+    }
+}

@@ -1,0 +1,153 @@
+//! Property tests driving the whole machine with randomized packet
+//! programs: whatever the schedule, the hardware invariants must hold.
+
+use proptest::prelude::*;
+
+use krisp_sim::{
+    CuMask, EnforcementMode, KernelDesc, Machine, MachineConfig, SimDuration, SimEvent,
+};
+
+/// A randomized host action.
+#[derive(Debug, Clone)]
+enum Action {
+    Dispatch { queue: u8, work_us: u16, parallelism: u16 },
+    SizedDispatch { queue: u8, work_us: u16, parallelism: u16, request: u16 },
+    Barrier { queue: u8 },
+    SignalledBarrier { queue: u8 },
+    Timer { delay_us: u16 },
+    SetMask { queue: u8, cus: u16 },
+}
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (0u8..4, 10u16..5_000, 1u16..=60).prop_map(|(queue, work_us, parallelism)| {
+            Action::Dispatch { queue, work_us, parallelism }
+        }),
+        (0u8..4, 10u16..5_000, 1u16..=60, 1u16..=60).prop_map(
+            |(queue, work_us, parallelism, request)| Action::SizedDispatch {
+                queue,
+                work_us,
+                parallelism,
+                request
+            }
+        ),
+        (0u8..4).prop_map(|queue| Action::Barrier { queue }),
+        (0u8..4).prop_map(|queue| Action::SignalledBarrier { queue }),
+        (1u16..10_000).prop_map(|delay_us| Action::Timer { delay_us }),
+        (0u8..4, 1u16..=60).prop_map(|(queue, cus)| Action::SetMask { queue, cus }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn machine_survives_any_packet_program(
+        actions in proptest::collection::vec(action_strategy(), 1..40),
+        kernel_scoped in proptest::bool::ANY,
+        jitter in proptest::bool::ANY,
+    ) {
+        let mut m = Machine::new(MachineConfig {
+            mode: if kernel_scoped {
+                EnforcementMode::KernelScoped
+            } else {
+                EnforcementMode::QueueMask
+            },
+            jitter_sigma: if jitter { 0.05 } else { 0.0 },
+            ..MachineConfig::default()
+        });
+        let queues: Vec<_> = (0..4).map(|_| m.create_queue()).collect();
+        let topo = m.topology();
+
+        let mut dispatched = 0u32;
+        let mut barriers = 0u32;
+        let mut timers = 0u32;
+        let mut pending_signals = Vec::new();
+        for a in &actions {
+            match *a {
+                Action::Dispatch { queue, work_us, parallelism } => {
+                    m.push_dispatch(
+                        queues[queue as usize],
+                        KernelDesc::new("k", work_us as f64 * 1e3, parallelism),
+                        dispatched as u64,
+                    );
+                    dispatched += 1;
+                }
+                Action::SizedDispatch { queue, work_us, parallelism, request } => {
+                    m.push_sized_dispatch(
+                        queues[queue as usize],
+                        KernelDesc::new("k", work_us as f64 * 1e3, parallelism),
+                        request,
+                        dispatched as u64,
+                    );
+                    dispatched += 1;
+                }
+                Action::Barrier { queue } => {
+                    m.push_barrier(queues[queue as usize], None, 1000 + barriers as u64);
+                    barriers += 1;
+                }
+                Action::SignalledBarrier { queue } => {
+                    let sig = m.create_signal();
+                    m.push_barrier(queues[queue as usize], Some(sig), 1000 + barriers as u64);
+                    barriers += 1;
+                    pending_signals.push(sig);
+                }
+                Action::Timer { delay_us } => {
+                    m.add_timer(SimDuration::from_micros(delay_us as u64), 2000 + timers as u64);
+                    timers += 1;
+                }
+                Action::SetMask { queue, cus } => {
+                    m.set_queue_mask(queues[queue as usize], CuMask::first_n(cus, &topo))
+                        .expect("non-empty mask");
+                }
+            }
+        }
+        // Complete all signals so every barrier can drain.
+        for sig in pending_signals {
+            m.complete_signal(sig);
+        }
+
+        let mut completed = 0u32;
+        let mut consumed = 0u32;
+        let mut fired = 0u32;
+        let mut last_at = krisp_sim::SimTime::ZERO;
+        while let Some(ev) = m.step() {
+            let at = match ev {
+                SimEvent::KernelCompleted { at, .. } => {
+                    completed += 1;
+                    at
+                }
+                SimEvent::BarrierConsumed { at, .. } => {
+                    consumed += 1;
+                    at
+                }
+                SimEvent::TimerFired { at, .. } => {
+                    fired += 1;
+                    at
+                }
+                SimEvent::KernelStarted { at, .. } => at,
+            };
+            // Events arrive in nondecreasing time order.
+            prop_assert!(at >= last_at);
+            last_at = at;
+        }
+
+        // Conservation: everything injected came back out exactly once.
+        prop_assert_eq!(completed, dispatched);
+        prop_assert_eq!(consumed, barriers);
+        prop_assert_eq!(fired, timers);
+        // The resource monitor returned to zero.
+        prop_assert_eq!(m.counters().total(), 0);
+        // Occupancy was recorded whenever kernels ran.
+        if dispatched > 0 {
+            prop_assert!(m.busy_cu_seconds() > 0.0);
+            prop_assert!(m.service_cu_seconds() > 0.0);
+            // Without bandwidth floors, delivered service can never
+            // exceed occupied capacity.
+            prop_assert!(m.service_cu_seconds() <= m.busy_cu_seconds() + 1e-9);
+        }
+        // Energy is at least idle power over the elapsed span.
+        let idle_floor = 25.0 * m.now().as_secs_f64();
+        prop_assert!(m.energy_joules() + 1e-9 >= idle_floor);
+    }
+}

@@ -1,0 +1,33 @@
+//! Capacity planning: given a tail-latency SLO (2x the isolated p95, as
+//! in the paper), how many concurrent instances of each model can one
+//! GPU host under KRISP-I? A miniature Table IV for your own deployment,
+//! using the library's `plan_capacity` API.
+//!
+//! ```sh
+//! cargo run --release --example capacity_planning
+//! ```
+
+use krisp_suite::core::Policy;
+use krisp_suite::models::ModelKind;
+use krisp_suite::server::{oracle_perfdb, plan_capacity, CapacityOptions};
+
+fn main() {
+    let perfdb = oracle_perfdb(&ModelKind::ALL, &[32]);
+    println!(
+        "{:<12} {:>12} {:>10} {:>14} {:>12}",
+        "model", "iso p95 ms", "SLO ms", "max workers", "rps at max"
+    );
+    for model in ModelKind::ALL {
+        let plan = plan_capacity(model, Policy::KrispI, &perfdb, CapacityOptions::default());
+        println!(
+            "{:<12} {:>12.1} {:>10.1} {:>14} {:>12.1}",
+            model.name(),
+            plan.isolated_p95_ms,
+            2.0 * plan.isolated_p95_ms,
+            plan.max_workers,
+            plan.rps_at_max
+        );
+    }
+    println!("\n(KRISP-I right-sizes every kernel and refuses oversubscription, so");
+    println!("adding workers degrades gracefully until isolation runs out of CUs.)");
+}

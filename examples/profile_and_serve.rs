@@ -1,0 +1,50 @@
+//! The full production pipeline: offline kernel profiling at "library
+//! installation time", persisting the Required-CUs table to disk,
+//! loading it back, and serving with KRISP-I — plus a comparison of the
+//! measured table against the workload's ground-truth knees.
+//!
+//! ```sh
+//! cargo run --release --example profile_and_serve
+//! ```
+
+use krisp_suite::core::{Policy, Profiler};
+use krisp_suite::models::{generate_trace, ModelKind, TraceConfig};
+use krisp_suite::runtime::RequiredCusTable;
+use krisp_suite::server::{run_server, ServerConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = ModelKind::Shufflenet;
+
+    // 1. Offline profiling sweep (the expensive, amortized step).
+    let profiler = Profiler::default();
+    let table = profiler.build_perfdb(&[model], &[32]);
+    println!("profiled {} distinct kernels for {model}", table.len());
+
+    // 2. Persist and reload, as a library's performance database would be.
+    let path = std::env::temp_dir().join("krisp_example_perfdb.json");
+    table.save(&path)?;
+    let table = RequiredCusTable::load(&path)?;
+    println!("perfdb round-tripped through {}", path.display());
+
+    // 3. How close is the measured table to the ground truth?
+    let trace = generate_trace(model, &TraceConfig::default());
+    let mut max_err = 0i32;
+    for k in &trace {
+        let measured = table.lookup(k).expect("profiled") as i32;
+        max_err = max_err.max((measured - k.parallelism as i32).abs());
+    }
+    println!("largest |measured - true knee| across {} kernels: {max_err} CUs", trace.len());
+
+    // 4. Serve 4 concurrent workers under KRISP-I using the measured table.
+    let r = run_server(
+        &ServerConfig::closed_loop(Policy::KrispI, vec![model; 4], 32),
+        &table,
+    );
+    println!(
+        "4x {model} under KRISP-I: {:.1} req/s total, worst p95 {:.1} ms, {:.2} J/inf",
+        r.total_rps(),
+        r.max_p95_ms().expect("completes"),
+        r.energy_per_inference().expect("completes"),
+    );
+    Ok(())
+}
