@@ -71,7 +71,10 @@ pub struct Row {
 pub fn run(perfdb: &RequiredCusTable) -> Vec<Row> {
     let mut rows = Vec::new();
     let mut record = |study: &str, setting: String, workers: usize, r: (f64, f64)| {
-        println!("  {setting:<28} {workers}w: {:.2}x rps, {:.2}x energy/inf", r.0, r.1);
+        println!(
+            "  {setting:<28} {workers}w: {:.2}x rps, {:.2}x energy/inf",
+            r.0, r.1
+        );
         rows.push(Row {
             study: study.to_string(),
             setting,
@@ -114,8 +117,10 @@ pub fn run(perfdb: &RequiredCusTable) -> Vec<Row> {
 
     header("Ablation: memory-bandwidth floors (workload calibration)");
     for scale in [0.0f64, 0.5, 1.0] {
-        for (policy, label) in [(Policy::KrispI, "krisp-i"), (Policy::StaticEqual, "static-equal")]
-        {
+        for (policy, label) in [
+            (Policy::KrispI, "krisp-i"),
+            (Policy::StaticEqual, "static-equal"),
+        ] {
             let mut rps = Vec::new();
             let mut energy = Vec::new();
             for &m in &MODELS {
@@ -156,9 +161,8 @@ pub fn run(perfdb: &RequiredCusTable) -> Vec<Row> {
             cfg.sharing_penalty = gamma;
             let r = run_server(&cfg, perfdb);
             rps.push(r.total_rps() / base.rps);
-            energy.push(
-                r.energy_per_inference().expect("completions") / base.energy_per_inference_j,
-            );
+            energy
+                .push(r.energy_per_inference().expect("completions") / base.energy_per_inference_j);
         }
         record(
             "gamma",

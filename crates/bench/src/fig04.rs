@@ -18,7 +18,10 @@ pub struct Trace {
 }
 
 fn sparkline(values: &[u16]) -> String {
-    const BARS: [char; 8] = ['\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}'];
+    const BARS: [char; 8] = [
+        '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}',
+        '\u{2588}',
+    ];
     values
         .iter()
         .map(|&v| BARS[((v as usize * 8) / 61).min(7)])

@@ -107,7 +107,8 @@ pub fn run() -> Vec<Point> {
         "  energy at 40 CUs: conserved {:.3} mJ vs distributed {:.3} mJ ({:.1}% saving)",
         e(DistributionPolicy::Conserved, 40),
         e(DistributionPolicy::Distributed, 40),
-        100.0 * (1.0 - e(DistributionPolicy::Conserved, 40) / e(DistributionPolicy::Distributed, 40))
+        100.0
+            * (1.0 - e(DistributionPolicy::Conserved, 40) / e(DistributionPolicy::Distributed, 40))
     );
     points
 }

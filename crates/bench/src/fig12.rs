@@ -8,9 +8,8 @@ use serde::{Deserialize, Serialize};
 
 use krisp::KrispAllocator;
 use krisp_models::{generate_trace, ModelKind, TraceConfig};
-use krisp_runtime::{
-    EmulationCosts, PartitionMode, RequiredCusTable, Runtime, RuntimeConfig,
-};
+use krisp_obs::Obs;
+use krisp_runtime::{EmulationCosts, PartitionMode, RequiredCusTable, Runtime, RuntimeConfig};
 use krisp_sim::GpuTopology;
 
 use crate::{header, save_json};
@@ -51,11 +50,43 @@ fn one_pass(model: ModelKind, mode: PartitionMode, perfdb: &RequiredCusTable) ->
         ..RuntimeConfig::default()
     });
     let s = rt.create_stream();
-    for (i, k) in generate_trace(model, &TraceConfig::default()).iter().enumerate() {
+    for (i, k) in generate_trace(model, &TraceConfig::default())
+        .iter()
+        .enumerate()
+    {
         rt.launch(s, k.clone(), i as u64);
     }
     rt.run_to_idle();
     rt.now().as_secs_f64() * 1e3
+}
+
+/// Saves a Perfetto trace of one emulated-KRISP squeezenet pass to
+/// `results/fig12_trace.json`: every kernel sits behind an explicit
+/// 30 µs reconfiguration span, so `L_over` is visible span by span
+/// instead of only as the aggregate subtraction.
+fn save_emulation_trace(perfdb: &RequiredCusTable) {
+    let topo = GpuTopology::MI50;
+    let (obs, sink) = Obs::recording(1 << 16);
+    let mut rt = Runtime::new(RuntimeConfig {
+        mode: PartitionMode::KernelScopedEmulated(EmulationCosts::default()),
+        allocator: Box::new(KrispAllocator::isolated()),
+        perfdb: perfdb.clone(),
+        jitter_sigma: 0.0,
+        topology: topo,
+        obs,
+        ..RuntimeConfig::default()
+    });
+    let s = rt.create_stream();
+    let trace = generate_trace(ModelKind::Squeezenet, &TraceConfig::default());
+    for (i, k) in trace.iter().enumerate() {
+        rt.launch(s, k.clone(), i as u64);
+    }
+    rt.run_to_idle();
+    let events = sink.lock().expect("event sink").drain();
+    let json = krisp_obs::perfetto::chrome_trace(&events, topo.cus_per_se() as u16);
+    let path = crate::results_dir().join("fig12_trace.json");
+    std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    eprintln!("[saved {} — open at ui.perfetto.dev]", path.display());
 }
 
 /// Runs the accounting for every model.
@@ -102,6 +133,7 @@ pub fn run(perfdb: &RequiredCusTable) -> Vec<Row> {
         });
     }
     save_json("fig12.json", &rows);
+    save_emulation_trace(perfdb);
     println!(
         "\nshape checks: L_over scales with kernel count ({} us per kernel);",
         costs.per_kernel().as_micros_f64()

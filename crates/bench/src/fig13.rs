@@ -40,12 +40,16 @@ pub fn run(perfdb: &RequiredCusTable) -> Sweep {
     header("Fig 13: throughput / tail latency / energy, 8 models x 5 policies x {1,2,4} workers");
     let sweep = policy_sweep(32, perfdb);
 
-    print_metric(&sweep, "Fig 13a: normalized throughput (x isolated)", &|r| {
-        format!("{:.2}", r.normalized_rps)
-    });
-    print_metric(&sweep, "Fig 13b: worst-worker p95 ms ('*' = SLO violation)", &|r| {
-        format!("{:.0}{}", r.max_p95_ms, if r.slo_ok { "" } else { "*" })
-    });
+    print_metric(
+        &sweep,
+        "Fig 13a: normalized throughput (x isolated)",
+        &|r| format!("{:.2}", r.normalized_rps),
+    );
+    print_metric(
+        &sweep,
+        "Fig 13b: worst-worker p95 ms ('*' = SLO violation)",
+        &|r| format!("{:.0}{}", r.max_p95_ms, if r.slo_ok { "" } else { "*" }),
+    );
     print_metric(&sweep, "Fig 13c: energy per inference (x isolated)", &|r| {
         format!("{:.2}", r.normalized_energy)
     });
@@ -69,7 +73,10 @@ pub fn run(perfdb: &RequiredCusTable) -> Sweep {
     }
     let krisp4 = geomean_normalized_rps(&sweep, Policy::KrispI, 4);
     let static4 = geomean_normalized_rps(&sweep, Policy::StaticEqual, 4);
-    println!("  krisp-i vs static-equal at 4 workers: {:.2}x", krisp4 / static4);
+    println!(
+        "  krisp-i vs static-equal at 4 workers: {:.2}x",
+        krisp4 / static4
+    );
     let best = ModelKind::ALL
         .iter()
         .filter_map(|&m| sweep.record(m, Policy::KrispI, 4))

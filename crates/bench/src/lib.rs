@@ -47,9 +47,9 @@ pub mod fig16;
 pub mod robustness;
 pub mod summary;
 pub mod table3;
-pub mod validation;
 pub mod table4;
 pub mod tables12;
+pub mod validation;
 
 use std::collections::HashMap;
 use std::fs;
@@ -99,10 +99,22 @@ where
 }
 
 /// Directory where experiment outputs (JSON + text) are written.
+///
+/// Defaults to `<workspace root>/results` regardless of the process
+/// working directory (a bare relative `results` once littered
+/// `crates/bench/src/bin/results/` when binaries ran from the wrong
+/// cwd); `KRISP_RESULTS` overrides it.
 pub fn results_dir() -> PathBuf {
     let dir = std::env::var_os("KRISP_RESULTS")
         .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("results"));
+        .unwrap_or_else(|| {
+            // crates/bench/../.. == the workspace root.
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .ancestors()
+                .nth(2)
+                .expect("bench crate lives two levels below the workspace root")
+                .join("results")
+        });
     fs::create_dir_all(&dir).expect("create results dir");
     dir
 }
@@ -110,8 +122,11 @@ pub fn results_dir() -> PathBuf {
 /// Saves a serializable value as pretty JSON under `results/`.
 pub fn save_json<T: Serialize>(name: &str, value: &T) {
     let path = results_dir().join(name);
-    fs::write(&path, serde_json::to_string_pretty(value).expect("serialize"))
-        .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    fs::write(
+        &path,
+        serde_json::to_string_pretty(value).expect("serialize"),
+    )
+    .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
     eprintln!("[saved {}]", path.display());
 }
 
@@ -141,7 +156,8 @@ pub fn measured_perfdb(batches: &[u32]) -> RequiredCusTable {
     let mut kernels = Vec::new();
     for &kind in &ModelKind::ALL {
         for &batch in batches {
-            for k in krisp_models::generate_trace(kind, &krisp_models::TraceConfig::with_batch(batch))
+            for k in
+                krisp_models::generate_trace(kind, &krisp_models::TraceConfig::with_batch(batch))
             {
                 if seen.insert(k.profile_key()) {
                     kernels.push(k);
@@ -405,8 +421,14 @@ mod tests {
     #[test]
     fn max_concurrency_reads_slo_flags() {
         let sweep = synthetic_sweep();
-        assert_eq!(max_concurrency(&sweep, ModelKind::Albert, Policy::KrispI), 4);
-        assert_eq!(max_concurrency(&sweep, ModelKind::Albert, Policy::MpsDefault), 2);
+        assert_eq!(
+            max_concurrency(&sweep, ModelKind::Albert, Policy::KrispI),
+            4
+        );
+        assert_eq!(
+            max_concurrency(&sweep, ModelKind::Albert, Policy::MpsDefault),
+            2
+        );
     }
 
     #[test]

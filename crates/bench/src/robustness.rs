@@ -84,15 +84,17 @@ pub fn run(perfdb: &RequiredCusTable) -> Vec<SeedStats> {
         });
     }
     save_json("robustness.json", &out);
-    let krisp = out.iter().find(|s| s.policy == Policy::KrispI).expect("ran");
-    let mps = out.iter().find(|s| s.policy == Policy::MpsDefault).expect("ran");
+    let krisp = out
+        .iter()
+        .find(|s| s.policy == Policy::KrispI)
+        .expect("ran");
+    let mps = out
+        .iter()
+        .find(|s| s.policy == Policy::MpsDefault)
+        .expect("ran");
     println!(
         "\nshape check: KRISP-I > MPS-Default holds at every seed: {}",
-        krisp
-            .per_seed
-            .iter()
-            .zip(&mps.per_seed)
-            .all(|(k, m)| k > m)
+        krisp.per_seed.iter().zip(&mps.per_seed).all(|(k, m)| k > m)
     );
     out
 }

@@ -8,9 +8,7 @@ use krisp::Policy;
 use krisp_models::{paper_profile, ModelKind};
 use krisp_sim::stats::geomean;
 
-use crate::{
-    geomean_normalized_rps, header, load_json, max_concurrency, results_dir, Sweep,
-};
+use crate::{geomean_normalized_rps, header, load_json, max_concurrency, results_dir, Sweep};
 
 /// One line of the digest.
 #[derive(Debug, Clone)]
@@ -140,7 +138,9 @@ pub fn run() {
         println!("no cached sweep found — run `fig13_main` or `run_all` first");
         return;
     };
-    let mut md = String::from("# Reproduction summary\n\n| paper claim | measured | holds |\n|---|---|---|\n");
+    let mut md = String::from(
+        "# Reproduction summary\n\n| paper claim | measured | holds |\n|---|---|---|\n",
+    );
     for c in &claims {
         println!(
             "[{}] {} — measured {}",

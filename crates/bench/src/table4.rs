@@ -53,7 +53,12 @@ pub fn run(perfdb: &RequiredCusTable) -> Vec<Row> {
     let krisp_best = rows
         .iter()
         .filter(|r| {
-            let best = r.max_workers.iter().map(|&(_, c)| c).max().expect("non-empty");
+            let best = r
+                .max_workers
+                .iter()
+                .map(|&(_, c)| c)
+                .max()
+                .expect("non-empty");
             r.max_workers
                 .iter()
                 .any(|&(p, c)| p == Policy::KrispI && c == best)

@@ -174,7 +174,9 @@ mod tests {
     fn only_krisp_is_kernel_scoped_hw_and_transparent() {
         let winners: Vec<_> = TABLE1
             .iter()
-            .filter(|r| r.scope == "Kernel" && r.enforced == "HW" && r.transparent.starts_with("Yes"))
+            .filter(|r| {
+                r.scope == "Kernel" && r.enforced == "HW" && r.transparent.starts_with("Yes")
+            })
             .collect();
         assert_eq!(winners.len(), 1);
         assert!(winners[0].mechanism.contains("KRISP"));

@@ -182,6 +182,54 @@ impl MaskAllocator for KrispAllocator {
     }
 }
 
+/// A [`MaskAllocator`] wrapper that wall-clock-times every `allocate`
+/// call and feeds the latency into the `krisp_mask_generation_ns`
+/// histogram. This is the in-situ check of the paper's §IV-D3 claim that
+/// Algorithm 1 completes in about a microsecond: wrap the production
+/// allocator with it and read the histogram off the metrics snapshot.
+///
+/// The wrapper sits *outside* the simulated machine, so the measured
+/// cost is the real host-side cost of running the algorithm, not a
+/// simulated latency — and since it wraps whichever allocator the mode
+/// uses (native packet processor or emulation callback), the histogram
+/// count equals the number of KRISP-tagged allocations in both modes.
+#[derive(Debug)]
+pub struct InstrumentedAllocator<A> {
+    inner: A,
+    metrics: krisp_obs::Metrics,
+}
+
+impl<A: MaskAllocator> InstrumentedAllocator<A> {
+    /// Wraps `inner`, reporting latencies into `metrics`.
+    pub fn new(inner: A, metrics: krisp_obs::Metrics) -> InstrumentedAllocator<A> {
+        InstrumentedAllocator { inner, metrics }
+    }
+
+    /// The wrapped allocator.
+    pub fn inner(&self) -> &A {
+        &self.inner
+    }
+}
+
+impl<A: MaskAllocator> MaskAllocator for InstrumentedAllocator<A> {
+    fn allocate(
+        &mut self,
+        requested_cus: u16,
+        counters: &CuKernelCounters,
+        topo: &GpuTopology,
+    ) -> CuMask {
+        if !self.metrics.enabled() {
+            return self.inner.allocate(requested_cus, counters, topo);
+        }
+        let start = std::time::Instant::now();
+        let mask = self.inner.allocate(requested_cus, counters, topo);
+        let elapsed_ns = start.elapsed().as_nanos() as f64;
+        self.metrics
+            .observe("krisp_mask_generation_ns", &[], elapsed_ns);
+        mask
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -346,6 +394,32 @@ mod tests {
         let layout = crate::distribution::se_layout(&m, &t);
         let used: Vec<u16> = layout.into_iter().filter(|&c| c > 0).collect();
         assert_eq!(used, vec![15, 4]);
+    }
+
+    #[test]
+    fn instrumented_allocator_times_every_call() {
+        let t = topo();
+        let counters = CuKernelCounters::new(t);
+        let metrics = krisp_obs::Metrics::recording();
+        let mut a = InstrumentedAllocator::new(KrispAllocator::isolated(), metrics.clone());
+        for _ in 0..5 {
+            let m = a.allocate(15, &counters, &t);
+            assert_eq!(m.count(), 15);
+        }
+        let snap = metrics.snapshot().unwrap();
+        let hist = snap.histogram("krisp_mask_generation_ns", &[]).unwrap();
+        assert_eq!(hist.count(), 5);
+    }
+
+    #[test]
+    fn instrumented_allocator_disabled_records_nothing() {
+        let t = topo();
+        let counters = CuKernelCounters::new(t);
+        let metrics = krisp_obs::Metrics::disabled();
+        let mut a = InstrumentedAllocator::new(KrispAllocator::isolated(), metrics.clone());
+        let m = a.allocate(15, &counters, &t);
+        assert_eq!(m.count(), 15);
+        assert!(metrics.snapshot().is_none());
     }
 
     #[test]

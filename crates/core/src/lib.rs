@@ -45,7 +45,7 @@ pub mod profiler;
 pub mod rightsize;
 pub mod tuner;
 
-pub use alloc::KrispAllocator;
+pub use alloc::{InstrumentedAllocator, KrispAllocator};
 pub use distribution::{select_cus, DistributionPolicy};
 pub use policy::{assign_model_partitions, prior_work_partitions, static_equal_masks, Policy};
 pub use profiler::{KernelProfile, ModelCurve, Profiler};

@@ -82,8 +82,11 @@ impl Profiler {
             ..RuntimeConfig::default()
         });
         let s = rt.create_stream();
-        rt.set_stream_mask(s, select_cus(DistributionPolicy::Conserved, cus, &self.topology))
-            .expect("valid profiling mask");
+        rt.set_stream_mask(
+            s,
+            select_cus(DistributionPolicy::Conserved, cus, &self.topology),
+        )
+        .expect("valid profiling mask");
         for (i, k) in trace.iter().enumerate() {
             rt.launch(s, k.clone(), i as u64);
         }
@@ -201,10 +204,7 @@ mod tests {
             // effective < 45 = 3x15) — the same effect real hardware
             // shows in Fig 8.
             let limit_ns = (prev.as_nanos() as f64 * 1.05) as u64;
-            assert!(
-                t.as_nanos() <= limit_ns,
-                "latency rose too much at {n} CUs"
-            );
+            assert!(t.as_nanos() <= limit_ns, "latency rose too much at {n} CUs");
             prev = t;
         }
         // The dip itself is real: 46 CUs is slightly slower than 45 for

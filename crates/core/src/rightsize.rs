@@ -59,7 +59,13 @@ mod tests {
 
     #[test]
     fn finds_first_point_within_tolerance() {
-        let curve = vec![(1, ms(100)), (2, ms(50)), (4, ms(25)), (8, ms(25)), (60, ms(25))];
+        let curve = vec![
+            (1, ms(100)),
+            (2, ms(50)),
+            (4, ms(25)),
+            (8, ms(25)),
+            (60, ms(25)),
+        ];
         assert_eq!(knee_from_curve(&curve, 0.01), 4);
     }
 

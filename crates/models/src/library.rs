@@ -70,7 +70,13 @@ pub fn catalogue() -> Vec<KernelDesc> {
         let grid = 80_000 + (unit(i * 31 + 1) * 400_000.0) as u64;
         let p = 10 + (unit(i * 31 + 2) * 50.0) as u16;
         let input = 1 << (16 + (unit(i * 31 + 3) * 8.0) as u64);
-        out.push(sized("MIOpenConvFFT_fwd_in", 40_000.0, p.min(60), grid, input));
+        out.push(sized(
+            "MIOpenConvFFT_fwd_in",
+            40_000.0,
+            p.min(60),
+            grid,
+            input,
+        ));
     }
 
     // Assembly Winograd + grouped stride-1 conv: always the full device,

@@ -73,10 +73,7 @@ impl KernelRole {
                 "elementwise_relu_f32",
                 "bias_broadcast_f32",
             ],
-            KernelRole::Norm => &[
-                "MIOpenBatchNormFwdInferSpatial",
-                "layernorm_fused_f32",
-            ],
+            KernelRole::Norm => &["MIOpenBatchNormFwdInferSpatial", "layernorm_fused_f32"],
             KernelRole::Pool => &["pooling_max_fwd_f32", "avgpool_global_f32"],
             KernelRole::Attention => &["attention_softmax_warp", "attention_qk_gemm"],
             KernelRole::Reduce => &["reduce_sum_stage2_f32"],

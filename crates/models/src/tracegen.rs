@@ -337,7 +337,10 @@ mod tests {
             .filter(|(_, k)| k.parallelism >= 50)
             .map(|(i, _)| i)
             .collect();
-        assert!(spikes.len() >= 8, "expected periodic spikes, got {spikes:?}");
+        assert!(
+            spikes.len() >= 8,
+            "expected periodic spikes, got {spikes:?}"
+        );
         // Spikes spread across the pass, not bunched at one end.
         assert!(*spikes.first().unwrap() < t.len() / 4);
         assert!(*spikes.last().unwrap() > 3 * t.len() / 4);

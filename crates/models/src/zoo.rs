@@ -98,8 +98,7 @@ mod tests {
 
     #[test]
     fn eight_models_with_unique_names() {
-        let names: std::collections::HashSet<_> =
-            ModelKind::ALL.iter().map(|m| m.name()).collect();
+        let names: std::collections::HashSet<_> = ModelKind::ALL.iter().map(|m| m.name()).collect();
         assert_eq!(names.len(), 8);
     }
 
@@ -113,8 +112,7 @@ mod tests {
 
     #[test]
     fn seeds_are_distinct() {
-        let seeds: std::collections::HashSet<_> =
-            ModelKind::ALL.iter().map(|m| m.seed()).collect();
+        let seeds: std::collections::HashSet<_> = ModelKind::ALL.iter().map(|m| m.seed()).collect();
         assert_eq!(seeds.len(), 8);
     }
 }

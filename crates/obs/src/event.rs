@@ -1,0 +1,179 @@
+//! The event taxonomy: everything the stack reports, as plain data.
+//!
+//! Events carry only integers (no simulator types) so this crate sits at
+//! the bottom of the dependency stack. CU masks travel as two `u64`
+//! words (up to 128 CUs — plenty for the MI50's 60); timestamps are
+//! simulation nanoseconds. Completion-style events carry their own
+//! `start_ns` so exporters never need to pair start/end records.
+
+/// One observation, stamped with simulation time and the worker that
+/// produced it (0 when the producer has no worker identity, e.g. a bare
+/// machine).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Simulation time of the observation, nanoseconds.
+    pub ts_ns: u64,
+    /// Server worker index the emitting bus was tagged with.
+    pub worker: u32,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The typed payloads. See module docs for conventions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// The packet processor popped a kernel dispatch packet off a queue
+    /// (launch latency starts now).
+    KernelDispatch {
+        /// Hardware queue (= stream = server worker) index.
+        queue: u32,
+        /// Host correlation tag.
+        tag: u64,
+        /// KRISP partition-size field of the AQL packet (0 when absent).
+        required_cus: u16,
+    },
+    /// A spatial partition was bound to a kernel about to execute.
+    MaskApplied {
+        /// Hardware queue index.
+        queue: u32,
+        /// Host correlation tag.
+        tag: u64,
+        /// The granted CU mask, as two little-endian bit words.
+        mask: [u64; 2],
+        /// CUs actually granted (popcount of `mask`).
+        granted_cus: u16,
+        /// CUs the kernel asked for (0 when it carried no size field).
+        required_cus: u16,
+    },
+    /// A kernel finished executing. `ts_ns` is the completion time.
+    KernelComplete {
+        /// Hardware queue index.
+        queue: u32,
+        /// Host correlation tag.
+        tag: u64,
+        /// When execution started (after launch/mask-generation delay).
+        start_ns: u64,
+        /// The partition it ran in.
+        mask: [u64; 2],
+        /// CUs of the partition (popcount of `mask`).
+        granted_cus: u16,
+    },
+    /// A barrier packet drained (its dependency signal completed).
+    BarrierDrain {
+        /// Hardware queue index.
+        queue: u32,
+        /// Host correlation tag.
+        tag: u64,
+        /// How long the queue was blocked on the signal (0 when the
+        /// barrier was consumed immediately).
+        waited_ns: u64,
+    },
+    /// Emulated kernel-scoped enforcement began a reconfiguration
+    /// (the host callback fired after the B1 barrier drained).
+    ReconfigStart {
+        /// Hardware queue index being reconfigured.
+        queue: u32,
+        /// The B2 completion signal the reconfiguration will raise.
+        token: u64,
+    },
+    /// Emulated reconfiguration finished: the new mask is installed and
+    /// the B2 signal completed. `ts_ns` is the end time.
+    ReconfigEnd {
+        /// Hardware queue index.
+        queue: u32,
+        /// The B2 completion signal raised.
+        token: u64,
+        /// When the matching [`EventKind::ReconfigStart`] happened.
+        start_ns: u64,
+        /// CUs in the freshly installed mask.
+        granted_cus: u16,
+    },
+    /// The server front-end enqueued a request (or, under dynamic
+    /// batching, one sample).
+    RequestEnqueued {
+        /// Monotonic per-worker request id.
+        request_id: u64,
+    },
+    /// The dynamic-batching front-end formed a batch.
+    BatchFormed {
+        /// Samples in the formed batch.
+        batch: u32,
+        /// How long the oldest sample waited for formation.
+        waited_ns: u64,
+    },
+    /// A request (or sample) completed. `ts_ns` is the completion time.
+    RequestDone {
+        /// Monotonic per-worker request id.
+        request_id: u64,
+        /// When the request's service began being measured (enqueue for
+        /// open-loop arrivals, inference start for closed loop).
+        start_ns: u64,
+    },
+}
+
+impl EventKind {
+    /// Stable lowercase name of the variant (used by exporters and
+    /// counters).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::KernelDispatch { .. } => "kernel_dispatch",
+            EventKind::MaskApplied { .. } => "mask_applied",
+            EventKind::KernelComplete { .. } => "kernel_complete",
+            EventKind::BarrierDrain { .. } => "barrier_drain",
+            EventKind::ReconfigStart { .. } => "reconfig_start",
+            EventKind::ReconfigEnd { .. } => "reconfig_end",
+            EventKind::RequestEnqueued { .. } => "request_enqueued",
+            EventKind::BatchFormed { .. } => "batch_formed",
+            EventKind::RequestDone { .. } => "request_done",
+        }
+    }
+}
+
+/// Number of set bits across a two-word CU mask.
+pub fn mask_popcount(mask: [u64; 2]) -> u16 {
+    (mask[0].count_ones() + mask[1].count_ones()) as u16
+}
+
+/// Set bits of a two-word CU mask that fall inside shader engine `se`,
+/// where every SE owns `cus_per_se` consecutive CU indices.
+pub fn mask_popcount_in_se(mask: [u64; 2], se: u16, cus_per_se: u16) -> u16 {
+    let lo = u32::from(se) * u32::from(cus_per_se);
+    let hi = lo + u32::from(cus_per_se);
+    (lo..hi.min(128))
+        .filter(|&cu| mask[(cu / 64) as usize] >> (cu % 64) & 1 == 1)
+        .count() as u16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn popcount_spans_both_words() {
+        assert_eq!(mask_popcount([0, 0]), 0);
+        assert_eq!(mask_popcount([u64::MAX, 1]), 65);
+    }
+
+    #[test]
+    fn per_se_popcount_slices_the_mask() {
+        // 15 CUs per SE: SE0 = bits 0..15, SE1 = bits 15..30, ...
+        let se0 = (1u64 << 15) - 1;
+        let mask = [se0 | (0b111 << 15), 0];
+        assert_eq!(mask_popcount_in_se(mask, 0, 15), 15);
+        assert_eq!(mask_popcount_in_se(mask, 1, 15), 3);
+        assert_eq!(mask_popcount_in_se(mask, 2, 15), 0);
+        // An SE straddling the word boundary.
+        let straddle = [1u64 << 63, 1];
+        assert_eq!(mask_popcount_in_se(straddle, 4, 15), 2);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        let e = EventKind::BarrierDrain {
+            queue: 0,
+            tag: 0,
+            waited_ns: 0,
+        };
+        assert_eq!(e.name(), "barrier_drain");
+    }
+}

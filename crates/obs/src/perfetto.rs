@@ -1,0 +1,325 @@
+//! Chrome-trace-event JSON export (loadable in `ui.perfetto.dev` or
+//! `chrome://tracing`).
+//!
+//! The exporter consumes a recorded event stream and emits **complete
+//! spans** (`ph: "X"`) for kernels, emulated reconfigurations and
+//! requests, **instants** (`ph: "i"`) for the remaining lifecycle
+//! markers, and per-shader-engine **counter tracks** (`ph: "C"`) for
+//! active-CU occupancy. Track layout:
+//!
+//! * one *process* per worker/queue (`pid` = queue index for device-side
+//!   events, worker index for server-side events — these coincide, since
+//!   each server worker owns exactly one stream/queue);
+//! * within it, `tid 0` = requests, `tid 1` = kernels, `tid 2` =
+//!   reconfigurations;
+//! * a synthetic `device` process ([`DEVICE_PID`]) carrying one
+//!   active-CU counter track per shader engine.
+//!
+//! Field order and number formatting are fixed (timestamps are printed
+//! as integer-derived microseconds with three decimals), so output is
+//! byte-stable for golden tests.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::event::{mask_popcount_in_se, Event, EventKind};
+
+/// The `pid` of the synthetic process carrying device-wide counter
+/// tracks.
+pub const DEVICE_PID: u32 = 1000;
+
+/// Requests track id within a worker process.
+pub const TID_REQUESTS: u32 = 0;
+/// Kernels track id within a worker process.
+pub const TID_KERNELS: u32 = 1;
+/// Reconfigurations track id within a worker process.
+pub const TID_RECONFIG: u32 = 2;
+
+/// Microseconds with three decimals from integer nanoseconds — exact
+/// and locale/float-independent, so golden fixtures are byte-stable.
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+fn span_json(name: &str, ts_ns: u64, dur_ns: u64, pid: u32, tid: u32, args: &str) -> String {
+    format!(
+        "{{\"name\":\"{name}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{pid},\"tid\":{tid},\"args\":{args}}}",
+        us(ts_ns),
+        us(dur_ns),
+    )
+}
+
+fn instant_json(name: &str, ts_ns: u64, pid: u32, tid: u32, args: &str) -> String {
+    format!(
+        "{{\"name\":\"{name}\",\"ph\":\"i\",\"ts\":{},\"pid\":{pid},\"tid\":{tid},\"s\":\"t\",\"args\":{args}}}",
+        us(ts_ns),
+    )
+}
+
+fn meta_json(kind: &str, pid: u32, tid: u32, name: &str) -> String {
+    format!(
+        "{{\"name\":\"{kind}\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"args\":{{\"name\":\"{name}\"}}}}"
+    )
+}
+
+fn counter_json(name: &str, ts_ns: u64, value: i64) -> String {
+    format!(
+        "{{\"name\":\"{name}\",\"ph\":\"C\",\"ts\":{},\"pid\":{DEVICE_PID},\"tid\":0,\"args\":{{\"cus\":{value}}}}}",
+        us(ts_ns),
+    )
+}
+
+/// Renders a recorded event stream as Chrome trace-event JSON.
+///
+/// `cus_per_se` describes the device's shader-engine stride (15 on the
+/// MI50) and sizes the per-SE occupancy counter tracks; pass 0 to skip
+/// counter tracks entirely.
+///
+/// # Examples
+///
+/// ```
+/// use krisp_obs::{Event, EventKind};
+///
+/// let events = [Event {
+///     ts_ns: 7_000,
+///     worker: 0,
+///     kind: EventKind::KernelComplete {
+///         queue: 0,
+///         tag: 3,
+///         start_ns: 2_000,
+///         mask: [0x7fff, 0],
+///         granted_cus: 15,
+///     },
+/// }];
+/// let json = krisp_obs::perfetto::chrome_trace(&events, 15);
+/// assert!(json.contains("\"ph\":\"X\""));
+/// assert!(json.contains("\"dur\":5.000"));
+/// ```
+pub fn chrome_trace(events: &[Event], cus_per_se: u16) -> String {
+    // (pid, tid) -> track label, discovered from the events.
+    let mut tracks: BTreeMap<(u32, u32), &'static str> = BTreeMap::new();
+    // (sort key, rendered JSON) per drawable event.
+    let mut drawn: Vec<((u64, u32, u32, u64), String)> = Vec::new();
+    // start/end CU-mask deltas for the occupancy counters.
+    let mut edges: BTreeMap<u64, Vec<(bool, [u64; 2])>> = BTreeMap::new();
+
+    for event in events {
+        let ts = event.ts_ns;
+        match &event.kind {
+            EventKind::KernelComplete {
+                queue,
+                tag,
+                start_ns,
+                mask,
+                granted_cus,
+            } => {
+                tracks.insert((*queue, TID_KERNELS), "kernels");
+                let args = format!("{{\"cus\":{granted_cus},\"tag\":{tag}}}");
+                drawn.push((
+                    (*start_ns, *queue, TID_KERNELS, *tag),
+                    span_json(
+                        &format!("k{tag}"),
+                        *start_ns,
+                        ts - start_ns,
+                        *queue,
+                        TID_KERNELS,
+                        &args,
+                    ),
+                ));
+                if cus_per_se > 0 {
+                    edges.entry(*start_ns).or_default().push((true, *mask));
+                    edges.entry(ts).or_default().push((false, *mask));
+                }
+            }
+            EventKind::ReconfigEnd {
+                queue,
+                token,
+                start_ns,
+                granted_cus,
+            } => {
+                tracks.insert((*queue, TID_RECONFIG), "reconfig");
+                let args = format!("{{\"granted_cus\":{granted_cus},\"token\":{token}}}");
+                drawn.push((
+                    (*start_ns, *queue, TID_RECONFIG, *token),
+                    span_json(
+                        "reconfig",
+                        *start_ns,
+                        ts - start_ns,
+                        *queue,
+                        TID_RECONFIG,
+                        &args,
+                    ),
+                ));
+            }
+            EventKind::RequestDone {
+                request_id,
+                start_ns,
+            } => {
+                tracks.insert((event.worker, TID_REQUESTS), "requests");
+                drawn.push((
+                    (*start_ns, event.worker, TID_REQUESTS, *request_id),
+                    span_json(
+                        &format!("request {request_id}"),
+                        *start_ns,
+                        ts - start_ns,
+                        event.worker,
+                        TID_REQUESTS,
+                        "{}",
+                    ),
+                ));
+            }
+            EventKind::MaskApplied {
+                queue,
+                tag,
+                granted_cus,
+                required_cus,
+                ..
+            } => {
+                tracks.insert((*queue, TID_KERNELS), "kernels");
+                let args = format!("{{\"granted\":{granted_cus},\"required\":{required_cus}}}");
+                drawn.push((
+                    (ts, *queue, TID_KERNELS, *tag),
+                    instant_json("mask", ts, *queue, TID_KERNELS, &args),
+                ));
+            }
+            EventKind::BarrierDrain {
+                queue,
+                tag,
+                waited_ns,
+            } => {
+                tracks.insert((*queue, TID_KERNELS), "kernels");
+                let args = format!("{{\"waited_us\":{}}}", us(*waited_ns));
+                drawn.push((
+                    (ts, *queue, TID_KERNELS, *tag),
+                    instant_json("barrier", ts, *queue, TID_KERNELS, &args),
+                ));
+            }
+            EventKind::RequestEnqueued { request_id } => {
+                tracks.insert((event.worker, TID_REQUESTS), "requests");
+                drawn.push((
+                    (ts, event.worker, TID_REQUESTS, *request_id),
+                    instant_json("enqueued", ts, event.worker, TID_REQUESTS, "{}"),
+                ));
+            }
+            EventKind::BatchFormed { batch, waited_ns } => {
+                tracks.insert((event.worker, TID_REQUESTS), "requests");
+                let args = format!("{{\"batch\":{batch},\"waited_us\":{}}}", us(*waited_ns));
+                drawn.push((
+                    (ts, event.worker, TID_REQUESTS, u64::from(*batch)),
+                    instant_json("batch", ts, event.worker, TID_REQUESTS, &args),
+                ));
+            }
+            // Dispatch/reconfig starts are subsumed by their completion
+            // spans; they still feed the metrics registry.
+            EventKind::KernelDispatch { .. } | EventKind::ReconfigStart { .. } => {}
+        }
+    }
+    drawn.sort_by_key(|entry| entry.0);
+
+    let mut entries: Vec<String> = Vec::new();
+    let mut pids: Vec<u32> = tracks.keys().map(|&(pid, _)| pid).collect();
+    pids.dedup();
+    for pid in pids {
+        entries.push(meta_json("process_name", pid, 0, &format!("worker {pid}")));
+    }
+    for (&(pid, tid), &label) in &tracks {
+        entries.push(meta_json("thread_name", pid, tid, label));
+    }
+
+    // Per-SE occupancy counters from the kernel-span mask edges: ends
+    // apply before starts at the same instant, so back-to-back kernels
+    // do not double-count.
+    if cus_per_se > 0 && !edges.is_empty() {
+        entries.push(meta_json("process_name", DEVICE_PID, 0, "device"));
+        let num_se = 128 / u32::from(cus_per_se);
+        let mut active: Vec<i64> = vec![0; num_se as usize];
+        for (&ts, deltas) in &edges {
+            for &(_, mask) in deltas.iter().filter(|&&(s, _)| !s) {
+                for (se, a) in active.iter_mut().enumerate() {
+                    *a -= i64::from(mask_popcount_in_se(mask, se as u16, cus_per_se));
+                }
+            }
+            for &(_, mask) in deltas.iter().filter(|&&(s, _)| s) {
+                for (se, a) in active.iter_mut().enumerate() {
+                    *a += i64::from(mask_popcount_in_se(mask, se as u16, cus_per_se));
+                }
+            }
+            for (se, &a) in active.iter().enumerate() {
+                entries.push(counter_json(&format!("active_cus_se{se}"), ts, a));
+            }
+        }
+    }
+
+    entries.extend(drawn.into_iter().map(|(_, json)| json));
+
+    let mut out = String::from("{\"traceEvents\":[\n");
+    for (i, entry) in entries.iter().enumerate() {
+        let sep = if i + 1 == entries.len() { "" } else { "," };
+        let _ = writeln!(out, "  {entry}{sep}");
+    }
+    out.push_str("]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernel(queue: u32, tag: u64, start_ns: u64, end_ns: u64, cus: u16) -> Event {
+        Event {
+            ts_ns: end_ns,
+            worker: queue,
+            kind: EventKind::KernelComplete {
+                queue,
+                tag,
+                start_ns,
+                mask: [(1u64 << cus) - 1, 0],
+                granted_cus: cus,
+            },
+        }
+    }
+
+    #[test]
+    fn spans_land_on_distinct_tracks() {
+        let events = [
+            kernel(0, 0, 1_000, 3_000, 15),
+            kernel(1, 0, 2_000, 5_000, 30),
+            Event {
+                ts_ns: 6_000,
+                worker: 1,
+                kind: EventKind::RequestDone {
+                    request_id: 0,
+                    start_ns: 0,
+                },
+            },
+        ];
+        let json = chrome_trace(&events, 15);
+        assert!(json.contains("\"pid\":0,\"tid\":1"));
+        assert!(json.contains("\"pid\":1,\"tid\":1"));
+        assert!(json.contains("\"pid\":1,\"tid\":0"));
+        assert!(json.contains("\"name\":\"request 0\""));
+    }
+
+    #[test]
+    fn counter_track_rises_and_falls() {
+        let json = chrome_trace(&[kernel(0, 0, 0, 1_000, 15)], 15);
+        // SE0 goes to 15 at t=0 and back to 0 at t=1 us.
+        assert!(json.contains("\"name\":\"active_cus_se0\",\"ph\":\"C\",\"ts\":0.000"));
+        assert!(json.contains("\"args\":{\"cus\":15}"));
+        assert!(json.contains("\"ts\":1.000,\"pid\":1000,\"tid\":0,\"args\":{\"cus\":0}"));
+    }
+
+    #[test]
+    fn timestamps_are_exact_microseconds() {
+        assert_eq!(us(0), "0.000");
+        assert_eq!(us(1), "0.001");
+        assert_eq!(us(1_234_567), "1234.567");
+    }
+
+    #[test]
+    fn empty_stream_renders_an_empty_trace() {
+        let json = chrome_trace(&[], 15);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("]}\n"));
+    }
+}

@@ -1,0 +1,259 @@
+//! Prometheus text exposition and a JSON snapshot of the metrics
+//! registry.
+//!
+//! [`render_text`] follows the Prometheus exposition format (one
+//! `# TYPE` header per metric family, histograms expanded into
+//! cumulative `_bucket{le=...}` series plus `_sum` / `_count`).
+//! [`render_json`] is a compact machine-readable snapshot carrying the
+//! histogram quantile estimates directly. Both render series in registry
+//! key order, so output is deterministic.
+
+use std::fmt::Write as _;
+
+use crate::metrics::{Histogram, MetricKey, Registry};
+
+fn escape(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// `{label="value",...}` (empty string when there are no labels).
+fn label_block(key: &MetricKey, extra: Option<(&str, &str)>) -> String {
+    let mut pairs: Vec<String> = key
+        .labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        pairs.push(format!("{k}=\"{v}\""));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+fn fmt_f64(value: f64) -> String {
+    if value.is_nan() {
+        "NaN".to_string()
+    } else if value.is_infinite() {
+        (if value > 0.0 { "+Inf" } else { "-Inf" }).to_string()
+    } else if value == value.trunc() && value.abs() < 1e15 {
+        format!("{value:.1}")
+    } else {
+        format!("{value:.9e}")
+    }
+}
+
+/// Renders the registry in the Prometheus text exposition format.
+///
+/// # Examples
+///
+/// ```
+/// use krisp_obs::Metrics;
+///
+/// let m = Metrics::recording();
+/// m.inc("krisp_requests_total", &[("worker", "0")], 3);
+/// let text = krisp_obs::prometheus::render_text(&m.snapshot().unwrap());
+/// assert!(text.contains("# TYPE krisp_requests_total counter"));
+/// assert!(text.contains("krisp_requests_total{worker=\"0\"} 3"));
+/// ```
+pub fn render_text(registry: &Registry) -> String {
+    let mut out = String::new();
+    let mut last_family = String::new();
+    let mut header = |out: &mut String, name: &str, kind: &str| {
+        if last_family != name {
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            last_family = name.to_string();
+        }
+    };
+
+    for (key, value) in registry.counters() {
+        header(&mut out, &key.name, "counter");
+        let _ = writeln!(out, "{}{} {value}", key.name, label_block(key, None));
+    }
+    for (key, value) in registry.gauges() {
+        header(&mut out, &key.name, "gauge");
+        let _ = writeln!(
+            out,
+            "{}{} {}",
+            key.name,
+            label_block(key, None),
+            fmt_f64(value)
+        );
+    }
+    for (key, hist) in registry.histograms() {
+        header(&mut out, &key.name, "histogram");
+        let mut cumulative = 0u64;
+        for (index, count) in hist.buckets() {
+            cumulative += count;
+            let (_, upper) = Histogram::bucket_bounds(index);
+            let _ = writeln!(
+                out,
+                "{}_bucket{} {cumulative}",
+                key.name,
+                label_block(key, Some(("le", &fmt_f64(upper))))
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{}_bucket{} {}",
+            key.name,
+            label_block(key, Some(("le", "+Inf"))),
+            hist.count()
+        );
+        let _ = writeln!(
+            out,
+            "{}_sum{} {}",
+            key.name,
+            label_block(key, None),
+            fmt_f64(hist.sum())
+        );
+        let _ = writeln!(
+            out,
+            "{}_count{} {}",
+            key.name,
+            label_block(key, None),
+            hist.count()
+        );
+    }
+    out
+}
+
+fn json_labels(key: &MetricKey) -> String {
+    let pairs: Vec<String> = key
+        .labels
+        .iter()
+        .map(|(k, v)| format!("\"{}\":\"{}\"", escape(k), escape(v)))
+        .collect();
+    format!("{{{}}}", pairs.join(","))
+}
+
+fn json_f64(value: f64) -> String {
+    if value.is_finite() {
+        fmt_f64(value)
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Renders the registry as a JSON snapshot. Histograms report their
+/// count, sum, extremes and the p50/p95/p99 sketch quantiles (one-bucket
+/// accuracy; see [`Histogram::quantile`]).
+pub fn render_json(registry: &Registry) -> String {
+    let counters: Vec<String> = registry
+        .counters()
+        .map(|(key, value)| {
+            format!(
+                "\n    {{\"name\":\"{}\",\"labels\":{},\"value\":{value}}}",
+                escape(&key.name),
+                json_labels(key)
+            )
+        })
+        .collect();
+    let gauges: Vec<String> = registry
+        .gauges()
+        .map(|(key, value)| {
+            format!(
+                "\n    {{\"name\":\"{}\",\"labels\":{},\"value\":{}}}",
+                escape(&key.name),
+                json_labels(key),
+                json_f64(value)
+            )
+        })
+        .collect();
+    let histograms: Vec<String> = registry
+        .histograms()
+        .map(|(key, hist)| {
+            format!(
+                "\n    {{\"name\":\"{}\",\"labels\":{},\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                escape(&key.name),
+                json_labels(key),
+                hist.count(),
+                json_f64(hist.sum()),
+                opt(hist.min()),
+                opt(hist.max()),
+                opt(hist.quantile(50.0)),
+                opt(hist.quantile(95.0)),
+                opt(hist.quantile(99.0)),
+            )
+        })
+        .collect();
+    let array = |items: Vec<String>| {
+        if items.is_empty() {
+            "[]".to_string()
+        } else {
+            format!("[{}\n  ]", items.join(","))
+        }
+    };
+    format!(
+        "{{\n  \"counters\": {},\n  \"gauges\": {},\n  \"histograms\": {}\n}}\n",
+        array(counters),
+        array(gauges),
+        array(histograms)
+    )
+}
+
+fn opt(value: Option<f64>) -> String {
+    value.map_or_else(|| "null".to_string(), json_f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+
+    fn registry() -> Registry {
+        let m = Metrics::recording();
+        m.inc("krisp_requests_total", &[("worker", "0")], 7);
+        m.set_gauge("krisp_queue_depth", &[("worker", "0")], 2.0);
+        for v in [900.0, 1_000.0, 1_100.0] {
+            m.observe("krisp_mask_generation_ns", &[], v);
+        }
+        m.snapshot().unwrap()
+    }
+
+    #[test]
+    fn text_exposition_has_types_buckets_and_totals() {
+        let text = render_text(&registry());
+        assert!(text.contains("# TYPE krisp_requests_total counter"));
+        assert!(text.contains("krisp_requests_total{worker=\"0\"} 7"));
+        assert!(text.contains("# TYPE krisp_queue_depth gauge"));
+        assert!(text.contains("# TYPE krisp_mask_generation_ns histogram"));
+        assert!(text.contains("krisp_mask_generation_ns_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("krisp_mask_generation_ns_count 3"));
+        assert!(text.contains("krisp_mask_generation_ns_sum 3000.0"));
+    }
+
+    #[test]
+    fn bucket_counts_are_cumulative() {
+        let text = render_text(&registry());
+        let counts: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("krisp_mask_generation_ns_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
+        assert_eq!(*counts.last().unwrap(), 3);
+    }
+
+    #[test]
+    fn json_snapshot_reports_quantiles() {
+        let json = render_json(&registry());
+        assert!(json.contains("\"name\":\"krisp_mask_generation_ns\""));
+        assert!(json.contains("\"count\":3"));
+        assert!(json.contains("\"p95\":"));
+        assert!(json.contains("\"labels\":{\"worker\":\"0\"}"));
+    }
+
+    #[test]
+    fn empty_registry_renders_empty_documents() {
+        let r = Registry::new();
+        assert_eq!(render_text(&r), "");
+        let json = render_json(&r);
+        assert!(json.contains("\"counters\": []"));
+    }
+}

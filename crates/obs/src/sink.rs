@@ -1,0 +1,191 @@
+//! Event delivery: the [`Sink`] trait, the bounded [`RingBufferSink`],
+//! and the cloneable [`EventBus`] handle producers hold.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+use crate::event::{Event, EventKind};
+
+/// Receives recorded events. Implementations must be `Send` because
+/// observability handles ride inside configs that cross threads (the
+/// bench harness runs experiments on worker threads).
+pub trait Sink: Send {
+    /// Accepts one event.
+    fn record(&mut self, event: Event);
+}
+
+/// A bounded FIFO of events. When full, the **oldest** event is dropped
+/// (recent history wins — a trace of the end of a run is more useful
+/// than one of its warmup) and a drop counter is bumped so exporters can
+/// flag truncation.
+///
+/// # Examples
+///
+/// ```
+/// use krisp_obs::{Event, EventKind, RingBufferSink, Sink};
+///
+/// let mut ring = RingBufferSink::new(2);
+/// for id in 0..3 {
+///     ring.record(Event {
+///         ts_ns: id,
+///         worker: 0,
+///         kind: EventKind::RequestEnqueued { request_id: id },
+///     });
+/// }
+/// assert_eq!(ring.events().len(), 2);
+/// assert_eq!(ring.events()[0].ts_ns, 1); // event 0 was evicted
+/// assert_eq!(ring.dropped(), 1);
+/// ```
+#[derive(Debug)]
+pub struct RingBufferSink {
+    capacity: usize,
+    events: VecDeque<Event>,
+    dropped: u64,
+}
+
+impl RingBufferSink {
+    /// Creates a ring holding at most `capacity` events (at least 1).
+    pub fn new(capacity: usize) -> RingBufferSink {
+        RingBufferSink {
+            capacity: capacity.max(1),
+            events: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> &VecDeque<Event> {
+        &self.events
+    }
+
+    /// Removes and returns the retained events, oldest first.
+    pub fn drain(&mut self) -> Vec<Event> {
+        self.events.drain(..).collect()
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+impl Sink for RingBufferSink {
+    fn record(&mut self, event: Event) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+}
+
+/// The producer-side handle: cheap to clone, tagged with a worker index,
+/// and a no-op when no sink is attached.
+///
+/// [`EventBus::emit`] takes a *closure* producing the payload, so when
+/// the bus is disabled the payload is never constructed — instrumented
+/// hot paths pay one `Option` branch.
+#[derive(Clone, Default)]
+pub struct EventBus {
+    sink: Option<Arc<Mutex<dyn Sink>>>,
+    worker: u32,
+}
+
+impl EventBus {
+    /// A bus with no sink: every `emit` is a no-op.
+    pub fn disabled() -> EventBus {
+        EventBus::default()
+    }
+
+    /// A bus recording into `sink`, tagged as worker 0.
+    pub fn to_sink(sink: Arc<Mutex<dyn Sink>>) -> EventBus {
+        EventBus {
+            sink: Some(sink),
+            worker: 0,
+        }
+    }
+
+    /// True when a sink is attached.
+    pub fn enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// The worker tag stamped onto emitted events.
+    pub fn worker(&self) -> u32 {
+        self.worker
+    }
+
+    /// A clone of this bus stamping events with `worker`.
+    pub fn for_worker(&self, worker: u32) -> EventBus {
+        EventBus {
+            sink: self.sink.clone(),
+            worker,
+        }
+    }
+
+    /// Records the event produced by `kind` at simulation time `ts_ns`.
+    /// The closure runs only when a sink is attached.
+    #[inline]
+    pub fn emit(&self, ts_ns: u64, kind: impl FnOnce() -> EventKind) {
+        if let Some(sink) = &self.sink {
+            let event = Event {
+                ts_ns,
+                worker: self.worker,
+                kind: kind(),
+            };
+            sink.lock().expect("event sink poisoned").record(event);
+        }
+    }
+}
+
+impl fmt::Debug for EventBus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EventBus")
+            .field("enabled", &self.enabled())
+            .field("worker", &self.worker)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_bus_never_runs_the_payload_closure() {
+        let bus = EventBus::disabled();
+        bus.emit(0, || unreachable!("disabled bus must skip payloads"));
+        assert!(!bus.enabled());
+    }
+
+    #[test]
+    fn ring_keeps_the_newest_events() {
+        let sink = Arc::new(Mutex::new(RingBufferSink::new(3)));
+        let bus = EventBus::to_sink(sink.clone());
+        for id in 0..5u64 {
+            bus.emit(id, || EventKind::RequestEnqueued { request_id: id });
+        }
+        let ring = sink.lock().unwrap();
+        assert_eq!(ring.dropped(), 2);
+        let ids: Vec<u64> = ring.events().iter().map(|e| e.ts_ns).collect();
+        assert_eq!(ids, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut ring = RingBufferSink::new(0);
+        ring.record(Event {
+            ts_ns: 1,
+            worker: 0,
+            kind: EventKind::RequestEnqueued { request_id: 0 },
+        });
+        assert_eq!(ring.capacity(), 1);
+        assert_eq!(ring.events().len(), 1);
+    }
+}

@@ -1,0 +1,118 @@
+//! Golden test for the Chrome-trace exporter: a tiny hand-built
+//! scenario (two kernels around one emulated reconfiguration, one
+//! request) must render byte-for-byte as the checked-in fixture.
+//!
+//! The exporter promises stable field ordering and integer-derived
+//! microsecond formatting precisely so this comparison is meaningful;
+//! if you change the output format intentionally, regenerate the
+//! fixture with `UPDATE_GOLDEN=1 cargo test -p krisp-obs --test
+//! perfetto_golden` and review the diff.
+
+use krisp_obs::{perfetto, Event, EventKind};
+
+fn scenario() -> Vec<Event> {
+    let k = |ts_ns, kind| Event {
+        ts_ns,
+        worker: 0,
+        kind,
+    };
+    vec![
+        k(0, EventKind::RequestEnqueued { request_id: 0 }),
+        k(
+            1_000,
+            EventKind::MaskApplied {
+                queue: 0,
+                tag: 0,
+                mask: [0xF, 0],
+                granted_cus: 4,
+                required_cus: 4,
+            },
+        ),
+        k(
+            6_000,
+            EventKind::KernelComplete {
+                queue: 0,
+                tag: 0,
+                start_ns: 1_000,
+                mask: [0xF, 0],
+                granted_cus: 4,
+            },
+        ),
+        k(6_000, EventKind::ReconfigStart { queue: 0, token: 5 }),
+        k(
+            36_000,
+            EventKind::ReconfigEnd {
+                queue: 0,
+                token: 5,
+                start_ns: 6_000,
+                granted_cus: 2,
+            },
+        ),
+        k(
+            36_000,
+            EventKind::MaskApplied {
+                queue: 0,
+                tag: 1,
+                mask: [0x3, 0],
+                granted_cus: 2,
+                required_cus: 2,
+            },
+        ),
+        k(
+            50_000,
+            EventKind::KernelComplete {
+                queue: 0,
+                tag: 1,
+                start_ns: 36_000,
+                mask: [0x3, 0],
+                granted_cus: 2,
+            },
+        ),
+        k(
+            50_000,
+            EventKind::RequestDone {
+                request_id: 0,
+                start_ns: 0,
+            },
+        ),
+    ]
+}
+
+#[test]
+fn two_kernels_one_reconfig_matches_fixture() {
+    let rendered = perfetto::chrome_trace(&scenario(), 15);
+    let fixture_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/perfetto_golden.json"
+    );
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(fixture_path, &rendered).expect("write fixture");
+    }
+    let golden = std::fs::read_to_string(fixture_path).expect(
+        "fixture present (regenerate with UPDATE_GOLDEN=1 cargo test -p \
+         krisp-obs --test perfetto_golden)",
+    );
+    assert_eq!(
+        rendered, golden,
+        "exporter output drifted from the golden fixture"
+    );
+}
+
+#[test]
+fn golden_scenario_structure() {
+    let rendered = perfetto::chrome_trace(&scenario(), 15);
+    // Kernel spans and the reconfig span land on distinct tracks of the
+    // same process (the queue's pid).
+    assert!(rendered.contains("\"name\":\"k0\""));
+    assert!(rendered.contains("\"name\":\"k1\""));
+    assert!(rendered.contains("\"name\":\"reconfig\""));
+    assert!(rendered.contains("\"name\":\"request 0\""));
+    // Both masks live on SE0, so the per-SE counter track rises to 4,
+    // drops, then rises to 2.
+    assert!(rendered
+        .contains("{\"name\":\"active_cus_se0\",\"ph\":\"C\",\"ts\":1.000,\"pid\":1000,\"tid\":0,\"args\":{\"cus\":4}}"));
+    assert!(rendered
+        .contains("{\"name\":\"active_cus_se0\",\"ph\":\"C\",\"ts\":36.000,\"pid\":1000,\"tid\":0,\"args\":{\"cus\":2}}"));
+    // The reconfig span is 30 us long starting at 6 us.
+    assert!(rendered.contains("\"ts\":6.000,\"dur\":30.000"));
+}

@@ -45,6 +45,4 @@ pub mod perfdb;
 pub mod runtime;
 
 pub use perfdb::RequiredCusTable;
-pub use runtime::{
-    EmulationCosts, PartitionMode, RtEvent, Runtime, RuntimeConfig, StreamId,
-};
+pub use runtime::{EmulationCosts, PartitionMode, RtEvent, Runtime, RuntimeConfig, StreamId};

@@ -4,10 +4,11 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 
+use krisp_obs::{EventKind, Obs};
 use krisp_sim::{
     CuKernelCounters, CuMask, DispatchCosts, EnforcementMode, FullMaskAllocator, GpuTopology,
-    KernelDesc, Machine, MachineConfig, MachineError, MaskAllocator, PowerModel, QueueId,
-    SignalId, SimDuration, SimEvent, SimTime,
+    KernelDesc, Machine, MachineConfig, MachineError, MaskAllocator, PowerModel, QueueId, SignalId,
+    SimDuration, SimEvent, SimTime,
 };
 
 use crate::perfdb::RequiredCusTable;
@@ -103,6 +104,9 @@ pub struct RuntimeConfig {
     pub jitter_sigma: f64,
     /// Co-residency interference factor (see `krisp_sim::contention`).
     pub sharing_penalty: f64,
+    /// Observability handles (event bus + metrics), shared with the
+    /// machine. Disabled by default.
+    pub obs: Obs,
 }
 
 impl Default for RuntimeConfig {
@@ -117,6 +121,7 @@ impl Default for RuntimeConfig {
             seed: 42,
             jitter_sigma: 0.0,
             sharing_penalty: krisp_sim::contention::DEFAULT_SHARING_PENALTY,
+            obs: Obs::disabled(),
         }
     }
 }
@@ -187,13 +192,15 @@ pub struct Runtime {
     emu_allocator: Option<Box<dyn MaskAllocator>>,
     /// B1-barrier tag → pending emulation step.
     emu_on_barrier: HashMap<u64, EmuPending>,
-    /// Internal timer token → pending emulation step.
-    emu_on_timer: HashMap<u64, EmuPending>,
+    /// Internal timer token → pending emulation step and the instant the
+    /// reconfiguration began (B1 consumption).
+    emu_on_timer: HashMap<u64, (EmuPending, SimTime)>,
     /// B2-barrier tags to swallow silently.
     emu_b2_tags: HashSet<u64>,
     next_internal: u64,
     emulated_launches: u64,
     buffered: VecDeque<RtEvent>,
+    obs: Obs,
 }
 
 impl fmt::Debug for Runtime {
@@ -237,6 +244,7 @@ impl Runtime {
             seed: config.seed,
             jitter_sigma: config.jitter_sigma,
             sharing_penalty: config.sharing_penalty,
+            obs: config.obs.clone(),
         });
         Runtime {
             machine,
@@ -249,6 +257,7 @@ impl Runtime {
             next_internal: 0,
             emulated_launches: 0,
             buffered: VecDeque::new(),
+            obs: config.obs,
         }
     }
 
@@ -349,7 +358,8 @@ impl Runtime {
                 let required = self
                     .perfdb
                     .lookup_or_full(&kernel, self.machine.topology().total_cus());
-                self.machine.push_sized_dispatch(queue, kernel, required, tag);
+                self.machine
+                    .push_sized_dispatch(queue, kernel, required, tag);
             }
             PartitionMode::KernelScopedEmulated(_) => {
                 let required = self
@@ -371,6 +381,9 @@ impl Runtime {
                 );
                 self.emu_b2_tags.insert(b2);
                 self.emulated_launches += 1;
+                self.obs
+                    .metrics
+                    .inc("krisp_emulated_launches_total", &[], 1);
             }
         }
     }
@@ -449,7 +462,14 @@ impl Runtime {
                             _ => unreachable!("emulation barrier outside emulated mode"),
                         };
                         let token = self.next_internal_token();
-                        self.emu_on_timer.insert(token, pending);
+                        let started = self.machine.now();
+                        self.obs
+                            .bus
+                            .emit(started.as_nanos(), || EventKind::ReconfigStart {
+                                queue: pending.queue.0,
+                                token,
+                            });
+                        self.emu_on_timer.insert(token, (pending, started));
                         self.machine.add_timer(costs.per_kernel(), token);
                     } else {
                         // B2 barriers are release fences; nothing to do.
@@ -470,7 +490,7 @@ impl Runtime {
     }
 
     fn finish_emulated_reconfiguration(&mut self, token: u64) {
-        let pending = self
+        let (pending, started) = self
             .emu_on_timer
             .remove(&token)
             .expect("internal timer without pending reconfiguration");
@@ -480,6 +500,14 @@ impl Runtime {
             .expect("emulated mode keeps an allocator");
         let topo = self.machine.topology();
         let mask = allocator.allocate(pending.required_cus, self.machine.counters(), &topo);
+        self.obs
+            .bus
+            .emit(self.machine.now().as_nanos(), || EventKind::ReconfigEnd {
+                queue: pending.queue.0,
+                token,
+                start_ns: started.as_nanos(),
+                granted_cus: mask.count(),
+            });
         self.machine
             .set_queue_mask(pending.queue, mask)
             .expect("emulation streams exist and masks are non-empty");

@@ -42,7 +42,10 @@ fn run_trace(kind: ModelKind, mode: PartitionMode, db: &RequiredCusTable) -> (u6
         ..RuntimeConfig::default()
     });
     let s = rt.create_stream();
-    for (i, k) in generate_trace(kind, &TraceConfig::default()).iter().enumerate() {
+    for (i, k) in generate_trace(kind, &TraceConfig::default())
+        .iter()
+        .enumerate()
+    {
         rt.launch(s, k.clone(), i as u64);
     }
     let mut masks = Vec::new();
@@ -60,8 +63,11 @@ fn emulated_and_native_enforce_identical_masks() {
     // per-kernel masks must be exactly those the native path enforces —
     // only the timing differs.
     let db = oracle_db(ModelKind::Squeezenet);
-    let (t_native, masks_native) =
-        run_trace(ModelKind::Squeezenet, PartitionMode::KernelScopedNative, &db);
+    let (t_native, masks_native) = run_trace(
+        ModelKind::Squeezenet,
+        PartitionMode::KernelScopedNative,
+        &db,
+    );
     let (t_emulated, masks_emulated) = run_trace(
         ModelKind::Squeezenet,
         PartitionMode::KernelScopedEmulated(EmulationCosts::default()),
@@ -143,8 +149,11 @@ fn zero_cost_emulation_equals_native_minus_mask_generation() {
         callback: SimDuration::ZERO,
         ioctl: SimDuration::ZERO,
     };
-    let (t_native, _) =
-        run_trace(ModelKind::Squeezenet, PartitionMode::KernelScopedNative, &db);
+    let (t_native, _) = run_trace(
+        ModelKind::Squeezenet,
+        PartitionMode::KernelScopedNative,
+        &db,
+    );
     let (t_emulated, masks) = run_trace(
         ModelKind::Squeezenet,
         PartitionMode::KernelScopedEmulated(free),

@@ -6,13 +6,16 @@
 //!             --batch 16 --seconds 5 --json
 //! ```
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::str::FromStr;
 
 use krisp::Policy;
 use krisp_models::ModelKind;
+use krisp_obs::{perfetto, prometheus, Obs};
 use krisp_server::{
-    oracle_perfdb, run_cluster, run_server, Arrival, ClusterConfig, Routing, ServerConfig,
+    oracle_perfdb, run_cluster, run_server, run_server_observed, Arrival, ClusterConfig, Routing,
+    ServerConfig,
 };
 use krisp_sim::SimDuration;
 
@@ -27,6 +30,8 @@ struct Args {
     overlap_limit: Option<u16>,
     seed: u64,
     json: bool,
+    trace_out: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
 }
 
 const USAGE: &str = "\
@@ -50,6 +55,11 @@ OPTIONS:
     --overlap-limit <n>   override the KRISP overlap limit (Fig 16)
     --seed <n>            RNG seed                     [default: 0xC0FFEE]
     --json                print the full result as JSON
+    --trace-out <file>    write a Chrome-trace / Perfetto JSON of the run
+                          (open it at https://ui.perfetto.dev)
+    --metrics-out <file>  write the metrics registry; Prometheus text
+                          exposition, or a JSON snapshot if the file
+                          ends in .json
     --help                this text
 
 MODELS: albert alexnet densenet201 resnet152 resnext101 shufflenet
@@ -67,13 +77,12 @@ fn parse_args() -> Result<Args, String> {
         overlap_limit: None,
         seed: 0xC0FFEE,
         json: false,
+        trace_out: None,
+        metrics_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next()
-                .ok_or_else(|| format!("missing value for {name}"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
         match flag.as_str() {
             "--policy" => {
                 args.policy = Policy::from_str(&value("--policy")?).map_err(|e| e.to_string())?;
@@ -126,6 +135,8 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--seed: {e}"))?;
             }
             "--json" => args.json = true,
+            "--trace-out" => args.trace_out = Some(PathBuf::from(value("--trace-out")?)),
+            "--metrics-out" => args.metrics_out = Some(PathBuf::from(value("--metrics-out")?)),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -163,6 +174,10 @@ fn main() -> ExitCode {
     let perfdb = oracle_perfdb(&distinct, &[args.batch]);
 
     if args.gpus > 1 {
+        if args.trace_out.is_some() || args.metrics_out.is_some() {
+            eprintln!("error: --trace-out/--metrics-out are single-GPU only (omit --gpus)");
+            return ExitCode::FAILURE;
+        }
         let Some(rate) = args.rate else {
             eprintln!("error: --gpus needs --rate (open-loop clusters only)");
             return ExitCode::FAILURE;
@@ -199,7 +214,47 @@ fn main() -> ExitCode {
     if args.seconds > 0.0 {
         cfg.duration = Some(SimDuration::from_secs_f64(args.seconds));
     }
-    let result = run_server(&cfg, &perfdb);
+    let observe = args.trace_out.is_some() || args.metrics_out.is_some();
+    let result = if observe {
+        // Bounded ring: a long run keeps its most recent ~1M events.
+        let (obs, sink) = Obs::recording(1 << 20);
+        let result = run_server_observed(&cfg, &perfdb, obs.clone());
+        if let Some(path) = &args.trace_out {
+            let mut sink = sink.lock().expect("event sink");
+            if sink.dropped() > 0 {
+                eprintln!(
+                    "[trace ring buffer overflowed: {} oldest events dropped]",
+                    sink.dropped()
+                );
+            }
+            let events = sink.drain();
+            let json = perfetto::chrome_trace(&events, cfg.topology.cus_per_se() as u16);
+            if let Err(e) = std::fs::write(path, json) {
+                eprintln!("error: writing {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "[trace written to {} — open at ui.perfetto.dev]",
+                path.display()
+            );
+        }
+        if let Some(path) = &args.metrics_out {
+            let registry = obs.metrics.snapshot().expect("metrics were recording");
+            let text = if path.extension().is_some_and(|e| e == "json") {
+                prometheus::render_json(&registry)
+            } else {
+                prometheus::render_text(&registry)
+            };
+            if let Err(e) = std::fs::write(path, text) {
+                eprintln!("error: writing {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("[metrics written to {}]", path.display());
+        }
+        result
+    } else {
+        run_server(&cfg, &perfdb)
+    };
 
     if args.json {
         println!(

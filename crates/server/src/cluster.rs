@@ -153,12 +153,16 @@ pub fn run_cluster(config: &ClusterConfig, perfdb: &RequiredCusTable) -> Cluster
                 })
                 .collect();
             if let Some(masks) = match config.policy {
-                Policy::StaticEqual => Some(krisp::static_equal_masks(workers.len(), &config.topology)),
+                Policy::StaticEqual => {
+                    Some(krisp::static_equal_masks(workers.len(), &config.topology))
+                }
                 Policy::ModelRightSize => {
                     let sizes: Vec<u16> = config
                         .models
                         .iter()
-                        .map(|&m| crate::experiment::model_right_size(m, config.batch, &config.topology))
+                        .map(|&m| {
+                            crate::experiment::model_right_size(m, config.batch, &config.topology)
+                        })
                         .collect();
                     Some(krisp::prior_work_partitions(&sizes, &config.topology))
                 }

@@ -9,13 +9,14 @@ use rand::{Rng, SeedableRng};
 
 use krisp::{
     knee_from_curve, prior_work_partitions, static_equal_masks, DistributionPolicy,
-    KrispAllocator, Policy, KNEE_TOLERANCE,
+    InstrumentedAllocator, KrispAllocator, Policy, KNEE_TOLERANCE,
 };
 use krisp_models::{analytic_latency, generate_trace, paper_profile, ModelKind, TraceConfig};
+use krisp_obs::{EventBus, EventKind, Obs};
 use krisp_runtime::{
     EmulationCosts, PartitionMode, RequiredCusTable, RtEvent, Runtime, RuntimeConfig, StreamId,
 };
-use krisp_sim::{DispatchCosts, GpuTopology, KernelDesc, SimDuration, SimTime};
+use krisp_sim::{DispatchCosts, GpuTopology, KernelDesc, MaskAllocator, SimDuration, SimTime};
 
 use crate::metrics::{ExperimentResult, WorkerResult};
 use crate::request::{InferenceRequest, RequestQueue};
@@ -156,9 +157,9 @@ impl ServerConfig {
         let warmup = self
             .warmup
             .unwrap_or_else(|| SimDuration::from_secs_f64((iso_ms * 5.0 / 1e3).max(0.05)));
-        let duration = self.duration.unwrap_or_else(|| {
-            SimDuration::from_secs_f64((iso_ms * 80.0 / 1e3).clamp(2.5, 15.0))
-        });
+        let duration = self
+            .duration
+            .unwrap_or_else(|| SimDuration::from_secs_f64((iso_ms * 80.0 / 1e3).clamp(2.5, 15.0)));
         (warmup, duration)
     }
 }
@@ -218,6 +219,8 @@ struct Worker {
     /// (completion time, latency ms) per finished request or sample.
     records: Vec<(SimTime, f64)>,
     next_request_id: u64,
+    /// Event bus tagged with this worker's index (disabled by default).
+    bus: EventBus,
 }
 
 impl Worker {
@@ -253,6 +256,10 @@ impl Worker {
         let take = self.sample_queue.len().min(max_batch as usize);
         let starts: Vec<SimTime> = self.sample_queue.drain(..take).collect();
         let batch = take as u32;
+        self.bus.emit(now.as_nanos(), || EventKind::BatchFormed {
+            batch,
+            waited_ns: now.saturating_since(oldest).as_nanos(),
+        });
         let model = self.model;
         let overhead = self.launch_overhead;
         let trace = self.traces_by_batch.entry(batch).or_insert_with(|| {
@@ -285,6 +292,26 @@ impl Worker {
 ///
 /// Panics if `config.models` is empty or `config.batch` is zero.
 pub fn run_server(config: &ServerConfig, perfdb: &RequiredCusTable) -> ExperimentResult {
+    run_server_observed(config, perfdb, Obs::disabled())
+}
+
+/// [`run_server`] with observability: request/batch lifecycle events land
+/// on `obs.bus` (one logical track per worker), the machine's kernel and
+/// mask events ride the same bus, and the metrics registry accumulates
+/// request-latency histograms, queue-depth gauges and the
+/// `krisp_mask_generation_ns` histogram (via [`InstrumentedAllocator`]
+/// around the policy's allocator).
+///
+/// Passing [`Obs::disabled`] makes this identical to [`run_server`].
+///
+/// # Panics
+///
+/// Panics if `config.models` is empty or `config.batch` is zero.
+pub fn run_server_observed(
+    config: &ServerConfig,
+    perfdb: &RequiredCusTable,
+    obs: Obs,
+) -> ExperimentResult {
     assert!(!config.models.is_empty(), "need at least one worker");
     assert!(config.batch > 0, "batch size must be positive");
     let topo = config.topology;
@@ -326,17 +353,22 @@ pub fn run_server(config: &ServerConfig, perfdb: &RequiredCusTable) -> Experimen
             db
         }
     };
+    let krisp_alloc = KrispAllocator::new(limit).with_distribution(config.allocator_distribution);
+    let allocator: Box<dyn MaskAllocator> = if obs.metrics.enabled() {
+        Box::new(InstrumentedAllocator::new(krisp_alloc, obs.metrics.clone()))
+    } else {
+        Box::new(krisp_alloc)
+    };
     let mut rt = Runtime::new(RuntimeConfig {
         topology: topo,
         costs: config.costs,
         mode,
-        allocator: Box::new(
-            KrispAllocator::new(limit).with_distribution(config.allocator_distribution),
-        ),
+        allocator,
         perfdb: effective_db,
         seed: config.seed,
         jitter_sigma: config.jitter_sigma,
         sharing_penalty: config.sharing_penalty,
+        obs: obs.clone(),
         ..RuntimeConfig::default()
     });
 
@@ -344,7 +376,8 @@ pub fn run_server(config: &ServerConfig, perfdb: &RequiredCusTable) -> Experimen
     let mut workers: Vec<Worker> = config
         .models
         .iter()
-        .map(|&model| Worker {
+        .enumerate()
+        .map(|(i, &model)| Worker {
             stream: rt.create_stream(),
             model,
             trace: generate_trace(model, &trace_cfg),
@@ -357,6 +390,7 @@ pub fn run_server(config: &ServerConfig, perfdb: &RequiredCusTable) -> Experimen
             inflight_kernels: 0,
             records: Vec::new(),
             next_request_id: 0,
+            bus: obs.bus.for_worker(i as u32),
         })
         .collect();
     let masks = match config.policy {
@@ -445,12 +479,16 @@ pub fn run_server(config: &ServerConfig, perfdb: &RequiredCusTable) -> Experimen
     let mut service_at_end = f64::NAN;
     while let Some(ev) = rt.step() {
         match ev {
-            RtEvent::TimerFired { token: TOKEN_WARM, .. } => {
+            RtEvent::TimerFired {
+                token: TOKEN_WARM, ..
+            } => {
                 energy_at_warm = rt.energy_joules();
                 busy_at_warm = rt.busy_cu_seconds();
                 service_at_warm = rt.service_cu_seconds();
             }
-            RtEvent::TimerFired { token: TOKEN_END, .. } => {
+            RtEvent::TimerFired {
+                token: TOKEN_END, ..
+            } => {
                 energy_at_end = rt.energy_joules();
                 busy_at_end = rt.busy_cu_seconds();
                 service_at_end = rt.service_cu_seconds();
@@ -487,9 +525,21 @@ pub fn run_server(config: &ServerConfig, perfdb: &RequiredCusTable) -> Experimen
                             batch,
                             enqueued_at: at,
                         });
+                        workers[wi]
+                            .bus
+                            .emit(at.as_nanos(), || EventKind::RequestEnqueued {
+                                request_id: id,
+                            });
                         if !workers[wi].busy {
                             let req = workers[wi].queue.pop().expect("just pushed");
                             workers[wi].start_inference(&mut rt, req.enqueued_at);
+                        }
+                        if obs.metrics.enabled() {
+                            obs.metrics.set_gauge(
+                                "krisp_request_queue_depth",
+                                &[("worker", &wi.to_string())],
+                                workers[wi].queue.len() as f64,
+                            );
                         }
                         if at < end {
                             let gap = exp_sample(&mut arrivals, rps_per_worker);
@@ -501,7 +551,14 @@ pub fn run_server(config: &ServerConfig, perfdb: &RequiredCusTable) -> Experimen
                         max_batch,
                         batch_timeout,
                     } => {
+                        let sample_id = workers[wi].next_request_id;
+                        workers[wi].next_request_id += 1;
                         workers[wi].sample_queue.push_back(at);
+                        workers[wi]
+                            .bus
+                            .emit(at.as_nanos(), || EventKind::RequestEnqueued {
+                                request_id: sample_id,
+                            });
                         workers[wi].try_form_batch(&mut rt, at, max_batch, batch_timeout);
                         if !workers[wi].sample_queue.is_empty() {
                             // Guarantee eventual formation even if no more
@@ -519,8 +576,21 @@ pub fn run_server(config: &ServerConfig, perfdb: &RequiredCusTable) -> Experimen
                 let wi = stream_to_worker[&stream];
                 if workers[wi].busy && tag + 1 == workers[wi].inflight_kernels as u64 {
                     let w = &mut workers[wi];
+                    let model_name = w.model.name();
                     for start in std::mem::take(&mut w.inflight_starts) {
                         let latency_ms = at.saturating_since(start).as_millis_f64();
+                        let request_id = w.records.len() as u64;
+                        w.bus.emit(at.as_nanos(), || EventKind::RequestDone {
+                            request_id,
+                            start_ns: start.as_nanos(),
+                        });
+                        if obs.metrics.enabled() {
+                            let worker_label = wi.to_string();
+                            let labels = [("model", model_name), ("worker", &worker_label)];
+                            obs.metrics.inc("krisp_requests_total", &labels, 1);
+                            obs.metrics
+                                .observe("krisp_request_latency_ms", &labels, latency_ms);
+                        }
                         w.records.push((at, latency_ms));
                     }
                     w.busy = false;
@@ -610,7 +680,11 @@ mod tests {
         // Table III: 8 ms isolated p95 (jitter adds a little).
         assert!((p95 - 8.0).abs() < 1.0, "p95 {p95}");
         // Throughput ~ 1000/8 = 125 rps.
-        assert!((r.total_rps() - 125.0).abs() < 15.0, "rps {}", r.total_rps());
+        assert!(
+            (r.total_rps() - 125.0).abs() < 15.0,
+            "rps {}",
+            r.total_rps()
+        );
     }
 
     #[test]
@@ -654,14 +728,13 @@ mod tests {
             vec![ModelKind::Squeezenet; 4],
             32,
         ));
-        assert!(
-            four.energy_per_inference().unwrap() < one.energy_per_inference().unwrap()
-        );
+        assert!(four.energy_per_inference().unwrap() < one.energy_per_inference().unwrap());
     }
 
     #[test]
     fn poisson_arrivals_track_offered_load() {
-        let mut cfg = ServerConfig::closed_loop(Policy::MpsDefault, vec![ModelKind::Squeezenet], 32);
+        let mut cfg =
+            ServerConfig::closed_loop(Policy::MpsDefault, vec![ModelKind::Squeezenet], 32);
         cfg.arrival = Arrival::Poisson {
             rps_per_worker: 40.0,
         };
@@ -747,7 +820,10 @@ mod tests {
             rk.allocation_utilization(),
             rm.allocation_utilization()
         );
-        assert!(rk.total_rps() > 0.9 * rm.total_rps(), "throughput collapsed");
+        assert!(
+            rk.total_rps() > 0.9 * rm.total_rps(),
+            "throughput collapsed"
+        );
     }
 
     #[test]
@@ -768,7 +844,8 @@ mod tests {
     fn utilization_grows_with_colocation() {
         let db = oracle_perfdb(&[ModelKind::Squeezenet], &[32]);
         let run_w = |w: usize| {
-            let mut cfg = ServerConfig::closed_loop(Policy::KrispI, vec![ModelKind::Squeezenet; w], 32);
+            let mut cfg =
+                ServerConfig::closed_loop(Policy::KrispI, vec![ModelKind::Squeezenet; w], 32);
             cfg.warmup = Some(SimDuration::from_millis(40));
             cfg.duration = Some(SimDuration::from_millis(400));
             run_server(&cfg, &db).service_utilization()
@@ -782,7 +859,8 @@ mod tests {
     fn dynamic_batching_forms_full_batches_under_load() {
         // High sample rate: batches should mostly reach max_batch, and
         // per-sample latency includes the batching wait.
-        let mut cfg = ServerConfig::closed_loop(Policy::MpsDefault, vec![ModelKind::Squeezenet], 32);
+        let mut cfg =
+            ServerConfig::closed_loop(Policy::MpsDefault, vec![ModelKind::Squeezenet], 32);
         cfg.arrival = Arrival::OpenBatched {
             samples_per_s: 3000.0,
             max_batch: 32,
@@ -805,7 +883,8 @@ mod tests {
     fn dynamic_batching_times_out_partial_batches() {
         // Trickle of samples: the timeout must fire so nothing starves,
         // and latency stays near timeout + small-batch inference.
-        let mut cfg = ServerConfig::closed_loop(Policy::MpsDefault, vec![ModelKind::Squeezenet], 32);
+        let mut cfg =
+            ServerConfig::closed_loop(Policy::MpsDefault, vec![ModelKind::Squeezenet], 32);
         cfg.arrival = Arrival::OpenBatched {
             samples_per_s: 50.0,
             max_batch: 32,

@@ -39,8 +39,8 @@ pub mod request;
 pub use capacity::{plan_capacity, CapacityOptions, CapacityPlan};
 pub use cluster::{run_cluster, ClusterConfig, ClusterResult, Routing};
 pub use experiment::{
-    model_right_size, oracle_perfdb, run_server, Arrival, KrispEnforcement, RightSizeSource,
-    ServerConfig,
+    model_right_size, oracle_perfdb, run_server, run_server_observed, Arrival, KrispEnforcement,
+    RightSizeSource, ServerConfig,
 };
 pub use metrics::{ExperimentResult, WorkerResult};
 pub use request::{InferenceRequest, RequestQueue};

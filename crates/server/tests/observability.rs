@@ -1,0 +1,157 @@
+//! End-to-end acceptance tests for the observability stack: run a small
+//! two-worker experiment with recording enabled and check that the
+//! exported trace and metrics are mutually consistent and consistent
+//! with the experiment's own results.
+
+use std::collections::HashMap;
+
+use krisp::Policy;
+use krisp_models::ModelKind;
+use krisp_obs::{perfetto, prometheus, EventKind, Histogram, Obs};
+use krisp_server::{oracle_perfdb, run_server, run_server_observed, ServerConfig};
+use krisp_sim::stats::percentile;
+use krisp_sim::SimDuration;
+
+fn two_worker_config() -> ServerConfig {
+    let mut cfg = ServerConfig::closed_loop(Policy::KrispI, vec![ModelKind::Squeezenet; 2], 8);
+    cfg.warmup = Some(SimDuration::from_millis(20));
+    cfg.duration = Some(SimDuration::from_millis(200));
+    cfg
+}
+
+#[test]
+fn trace_round_trips_with_consistent_spans_and_busy_time() {
+    let cfg = two_worker_config();
+    let db = oracle_perfdb(&cfg.models, &[cfg.batch]);
+    let (obs, sink) = Obs::recording(1 << 20);
+    run_server_observed(&cfg, &db, obs.clone());
+
+    let mut sink = sink.lock().expect("sink");
+    assert_eq!(sink.dropped(), 0, "ring buffer must hold the whole run");
+    let events = sink.drain();
+    let json = perfetto::chrome_trace(&events, cfg.topology.cus_per_se() as u16);
+
+    // The trace is valid JSON and round-trips through serde_json.
+    let doc: serde_json::Value = serde_json::from_str(&json).expect("trace parses");
+    let trace_events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("traceEvents array");
+    assert!(!trace_events.is_empty());
+    let reserialized = serde_json::to_string(&doc).expect("re-serializes");
+    let doc2: serde_json::Value = serde_json::from_str(&reserialized).expect("parses again");
+    assert_eq!(doc, doc2);
+
+    // Kernel and request spans exist on distinct tracks per worker.
+    let mut kernel_tracks = std::collections::HashSet::new();
+    let mut request_tracks = std::collections::HashSet::new();
+    let mut kernel_us_by_pid: HashMap<u64, f64> = HashMap::new();
+    for ev in trace_events {
+        if ev.get("ph").and_then(|v| v.as_str()) != Some("X") {
+            continue;
+        }
+        let pid = ev.get("pid").and_then(|v| v.as_u64()).expect("pid");
+        let tid = ev.get("tid").and_then(|v| v.as_u64()).expect("tid");
+        let name = ev.get("name").and_then(|v| v.as_str()).expect("name");
+        if name.starts_with('k') && tid == 1 {
+            kernel_tracks.insert((pid, tid));
+            *kernel_us_by_pid.entry(pid).or_default() +=
+                ev.get("dur").and_then(|v| v.as_f64()).expect("dur");
+        } else if name.starts_with("request") {
+            request_tracks.insert((pid, tid));
+        }
+    }
+    assert_eq!(kernel_tracks.len(), 2, "one kernel track per worker");
+    assert_eq!(request_tracks.len(), 2, "one request track per worker");
+    assert!(kernel_tracks.is_disjoint(&request_tracks));
+
+    // Per worker, kernel span durations sum to the machine's busy-time
+    // counter within 1% (they derive from the same dispatch bookkeeping,
+    // modulo the exporter's 1 ns -> 0.001 us rounding).
+    let registry = obs.metrics.snapshot().expect("metrics recorded");
+    for (&pid, &span_us) in &kernel_us_by_pid {
+        let busy_ns = registry
+            .counter("krisp_kernel_busy_ns", &[("queue", &pid.to_string())])
+            .expect("busy counter per queue");
+        let busy_us = busy_ns as f64 / 1e3;
+        let rel = (span_us - busy_us).abs() / busy_us;
+        assert!(
+            rel < 0.01,
+            "worker {pid}: spans {span_us} us vs busy {busy_us} us ({rel:.4} off)"
+        );
+    }
+}
+
+#[test]
+fn metrics_snapshot_agrees_with_exact_statistics() {
+    let cfg = two_worker_config();
+    let db = oracle_perfdb(&cfg.models, &[cfg.batch]);
+    let (obs, sink) = Obs::recording(1 << 20);
+    run_server_observed(&cfg, &db, obs.clone());
+    let events = sink.lock().expect("sink").drain();
+    let registry = obs.metrics.snapshot().expect("metrics recorded");
+
+    // The mask-generation histogram counts exactly the KRISP-tagged
+    // dispatches (KRISP-I native: every dispatch is kernel-scoped).
+    let mask_gen = registry
+        .histogram("krisp_mask_generation_ns", &[])
+        .expect("mask generation histogram");
+    let kernel_scoped = registry
+        .counter(
+            "krisp_kernel_dispatches_total",
+            &[("mode", "kernel_scoped")],
+        )
+        .expect("dispatch counter");
+    assert_eq!(mask_gen.count(), kernel_scoped);
+
+    // The request-latency histogram's p95 stays within one log bucket of
+    // the exact nearest-rank percentile over the same samples (rebuilt
+    // from the RequestDone events).
+    for worker in 0..2u32 {
+        let exact_ms: Vec<f64> = events
+            .iter()
+            .filter(|e| e.worker == worker)
+            .filter_map(|e| match e.kind {
+                EventKind::RequestDone { start_ns, .. } => Some((e.ts_ns - start_ns) as f64 / 1e6),
+                _ => None,
+            })
+            .collect();
+        assert!(!exact_ms.is_empty());
+        let hist = registry
+            .histogram(
+                "krisp_request_latency_ms",
+                &[("model", "squeezenet"), ("worker", &worker.to_string())],
+            )
+            .expect("latency histogram per worker");
+        assert_eq!(hist.count(), exact_ms.len() as u64);
+        let exact_p95 = percentile(&exact_ms, 95.0).expect("non-empty");
+        let sketch_p95 = hist.quantile(95.0).expect("non-empty");
+        let off = (Histogram::bucket_of(sketch_p95) - Histogram::bucket_of(exact_p95)).abs();
+        assert!(
+            off <= 1,
+            "worker {worker}: sketch p95 {sketch_p95} vs exact {exact_p95} ({off} buckets)"
+        );
+    }
+
+    // The exported documents carry the series.
+    let text = prometheus::render_text(&registry);
+    assert!(text.contains("# TYPE krisp_request_latency_ms histogram"));
+    assert!(text.contains("# TYPE krisp_mask_generation_ns histogram"));
+    let json = prometheus::render_json(&registry);
+    let doc: serde_json::Value = serde_json::from_str(&json).expect("metrics JSON parses");
+    assert!(doc
+        .get("histograms")
+        .and_then(|v| v.as_array())
+        .is_some_and(|h| !h.is_empty()));
+}
+
+#[test]
+fn disabled_observability_leaves_results_identical() {
+    let cfg = two_worker_config();
+    let db = oracle_perfdb(&cfg.models, &[cfg.batch]);
+    let plain = run_server(&cfg, &db);
+    let (obs, _sink) = Obs::recording(1 << 20);
+    let observed = run_server_observed(&cfg, &db, obs);
+    // Observability must not perturb the simulation itself.
+    assert_eq!(plain, observed);
+}

@@ -206,8 +206,8 @@ mod tests {
         let t = topo();
         let m = CuMask::first_n(15, &t); // all SE0
         let r = residents_for(&[&m, &m], &t); // two identical kernels
-        // share(2) = 1/(2 * 1.25) = 0.4 -> 6 CUs each, not 7.5:
-        // co-residency interference destroys 20% of the capacity.
+                                              // share(2) = 1/(2 * 1.25) = 0.4 -> 6 CUs each, not 7.5:
+                                              // co-residency interference destroys 20% of the capacity.
         assert!((kernel_rate(&m, 60, 0.0, &r, &t, G25) - 6.0).abs() < 1e-12);
         // The calibrated default is harsher still.
         assert!(kernel_rate(&m, 60, 0.0, &r, &t, G) < 6.0);

@@ -110,10 +110,7 @@ impl CuKernelCounters {
 
     /// The CUs that currently have at least one assigned kernel.
     pub fn busy_mask(&self) -> CuMask {
-        self.topology
-            .cus()
-            .filter(|&cu| self.get(cu) > 0)
-            .collect()
+        self.topology.cus().filter(|&cu| self.get(cu) > 0).collect()
     }
 
     /// Per-CU counts as a slice indexed by global CU id.

@@ -74,7 +74,7 @@ pub use mask::CuMask;
 pub use power::{EnergyMeter, PowerModel};
 pub use queue::{AqlPacket, BarrierPacket, DispatchPacket, QueueId, SignalId};
 pub use stats::Summary;
-pub use tracelog::{KernelSpan, TraceLog};
-pub use wg_engine::{WgEngine, WgKernelId};
 pub use time::{SimDuration, SimTime};
 pub use topology::{CuId, GpuTopology, SeId};
+pub use tracelog::{KernelSpan, TraceLog};
+pub use wg_engine::{WgEngine, WgKernelId};

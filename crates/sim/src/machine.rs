@@ -33,6 +33,7 @@ use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 use std::fmt;
 
+use krisp_obs::{EventKind, Obs};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -42,7 +43,9 @@ use crate::engine::{Engine, KernelId};
 use crate::kernel::KernelDesc;
 use crate::mask::CuMask;
 use crate::power::{EnergyMeter, PowerModel};
-use crate::queue::{AqlPacket, BarrierPacket, DispatchPacket, HsaQueue, QueueId, QueueState, SignalId};
+use crate::queue::{
+    AqlPacket, BarrierPacket, DispatchPacket, HsaQueue, QueueId, QueueState, SignalId,
+};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::GpuTopology;
 
@@ -102,6 +105,9 @@ pub struct MachineConfig {
     /// Co-residency interference factor passed to the execution engine
     /// (see [`crate::contention`]); 0.0 = ideal processor sharing.
     pub sharing_penalty: f64,
+    /// Observability handles (event bus + metrics). Disabled by default;
+    /// when disabled every instrumentation site is a single branch.
+    pub obs: Obs,
 }
 
 impl fmt::Debug for MachineConfig {
@@ -129,6 +135,7 @@ impl Default for MachineConfig {
             seed: 42,
             jitter_sigma: 0.0,
             sharing_penalty: crate::contention::DEFAULT_SHARING_PENALTY,
+            obs: Obs::disabled(),
         }
     }
 }
@@ -241,10 +248,12 @@ pub struct Machine {
     busy_cu_seconds: f64,
     service_cu_seconds: f64,
 
+    obs: Obs,
+
     queues: Vec<HsaQueue>,
     pending_dispatch: HashMap<QueueId, DispatchPacket>,
-    inflight: HashMap<KernelId, (QueueId, u64)>,
-    waiting_on_signal: HashMap<SignalId, (QueueId, u64)>,
+    inflight: HashMap<KernelId, (QueueId, u64, SimTime)>,
+    waiting_on_signal: HashMap<SignalId, (QueueId, u64, SimTime)>,
     completed_signals: HashSet<SignalId>,
     next_signal: u64,
 
@@ -282,6 +291,7 @@ impl Machine {
             energy: EnergyMeter::new(),
             busy_cu_seconds: 0.0,
             service_cu_seconds: 0.0,
+            obs: config.obs,
             queues: Vec::new(),
             pending_dispatch: HashMap::new(),
             inflight: HashMap::new(),
@@ -385,6 +395,14 @@ impl Machine {
             .get_mut(queue.0 as usize)
             .unwrap_or_else(|| panic!("unknown queue {queue}"));
         q.packets.push_back(packet);
+        if self.obs.metrics.enabled() {
+            let depth = q.packets.len() as f64;
+            self.obs.metrics.set_gauge(
+                "krisp_queue_depth",
+                &[("queue", &queue.0.to_string())],
+                depth,
+            );
+        }
     }
 
     /// Convenience: pushes a legacy dispatch packet (inherits the queue
@@ -437,8 +455,15 @@ impl Machine {
         if !self.completed_signals.insert(signal) {
             return;
         }
-        if let Some((queue, tag)) = self.waiting_on_signal.remove(&signal) {
+        if let Some((queue, tag, blocked_at)) = self.waiting_on_signal.remove(&signal) {
             self.queues[queue.0 as usize].state = QueueState::Idle;
+            self.obs
+                .bus
+                .emit(self.now.as_nanos(), || EventKind::BarrierDrain {
+                    queue: queue.0,
+                    tag,
+                    waited_ns: self.now.saturating_since(blocked_at).as_nanos(),
+                });
             self.out.push_back(SimEvent::BarrierConsumed {
                 queue,
                 tag,
@@ -547,9 +572,7 @@ impl Machine {
         if !dt.is_zero() {
             let busy = self.engine.busy_cus();
             let service = self.engine.total_service();
-            let power = self
-                .power
-                .power_w(busy, self.engine.busy_ses(), service);
+            let power = self.power.power_w(busy, self.engine.busy_ses(), service);
             self.energy.accumulate(power, dt);
             self.busy_cu_seconds += busy as f64 * dt.as_secs_f64();
             self.service_cu_seconds += service * dt.as_secs_f64();
@@ -561,11 +584,36 @@ impl Machine {
     fn finish_kernel(&mut self, id: KernelId) {
         let mask = self.engine.complete(id);
         self.counters.release(&mask);
-        let (queue, tag) = self
+        let (queue, tag, started) = self
             .inflight
             .remove(&id)
             .expect("completed kernel not tracked");
         self.queues[queue.0 as usize].state = QueueState::Idle;
+        self.obs
+            .bus
+            .emit(self.now.as_nanos(), || EventKind::KernelComplete {
+                queue: queue.0,
+                tag,
+                start_ns: started.as_nanos(),
+                mask: mask.raw_words(),
+                granted_cus: mask.count(),
+            });
+        if self.obs.metrics.enabled() {
+            let dur_ns = self.now.saturating_since(started).as_nanos();
+            let q = queue.0.to_string();
+            self.obs
+                .metrics
+                .inc("krisp_kernel_busy_ns", &[("queue", &q)], dur_ns);
+            // Per-CU occupancy: nanoseconds each CU spent allocated to
+            // some kernel (the Resource Monitor's view, accumulated).
+            for cu in &mask {
+                self.obs.metrics.inc(
+                    "krisp_cu_allocated_ns",
+                    &[("cu", &cu.0.to_string())],
+                    dur_ns,
+                );
+            }
+        }
         self.out.push_back(SimEvent::KernelCompleted {
             queue,
             tag,
@@ -586,10 +634,17 @@ impl Machine {
                         match b.wait_on {
                             Some(sig) if !self.completed_signals.contains(&sig) => {
                                 self.queues[qi].state = QueueState::BlockedOnSignal(sig);
-                                self.waiting_on_signal.insert(sig, (queue, b.tag));
+                                self.waiting_on_signal.insert(sig, (queue, b.tag, self.now));
                                 break;
                             }
                             _ => {
+                                self.obs.bus.emit(self.now.as_nanos(), || {
+                                    EventKind::BarrierDrain {
+                                        queue: queue.0,
+                                        tag: b.tag,
+                                        waited_ns: 0,
+                                    }
+                                });
                                 self.out.push_back(SimEvent::BarrierConsumed {
                                     queue,
                                     tag: b.tag,
@@ -600,12 +655,19 @@ impl Machine {
                     }
                     AqlPacket::Dispatch(d) => {
                         let queue = self.queues[qi].id;
-                        let uses_allocator = self.mode == EnforcementMode::KernelScoped
-                            && d.partition_cus.is_some();
+                        let uses_allocator =
+                            self.mode == EnforcementMode::KernelScoped && d.partition_cus.is_some();
                         let mut delay = self.costs.kernel_launch;
                         if uses_allocator {
                             delay += self.costs.mask_generation;
                         }
+                        self.obs
+                            .bus
+                            .emit(self.now.as_nanos(), || EventKind::KernelDispatch {
+                                queue: queue.0,
+                                tag: d.tag,
+                                required_cus: d.partition_cus.unwrap_or(0),
+                            });
                         self.queues[qi].state = QueueState::Dispatching;
                         self.pending_dispatch.insert(queue, d);
                         self.push_timer(self.now + delay, TimerKind::QueueDelay(queue));
@@ -631,6 +693,25 @@ impl Machine {
             !mask.is_empty(),
             "allocator/queue produced an empty mask for {queue}"
         );
+        self.obs
+            .bus
+            .emit(self.now.as_nanos(), || EventKind::MaskApplied {
+                queue: queue.0,
+                tag: d.tag,
+                mask: mask.raw_words(),
+                granted_cus: mask.count(),
+                required_cus: d.partition_cus.unwrap_or(0),
+            });
+        if self.obs.metrics.enabled() {
+            let mode = if self.mode == EnforcementMode::KernelScoped && d.partition_cus.is_some() {
+                "kernel_scoped"
+            } else {
+                "queue_mask"
+            };
+            self.obs
+                .metrics
+                .inc("krisp_kernel_dispatches_total", &[("mode", mode)], 1);
+        }
         let jitter = self.sample_jitter();
         let id = self
             .engine
@@ -642,7 +723,7 @@ impl Machine {
             )
             .expect("non-empty mask");
         self.counters.assign(&mask);
-        self.inflight.insert(id, (queue, d.tag));
+        self.inflight.insert(id, (queue, d.tag, self.now));
         self.queues[queue.0 as usize].state = QueueState::Running(id);
         self.out.push_back(SimEvent::KernelStarted {
             queue,
@@ -692,8 +773,15 @@ mod tests {
         assert_eq!(evs.len(), 2);
         match (&evs[0], &evs[1]) {
             (
-                SimEvent::KernelStarted { tag: t0, at: a0, mask, .. },
-                SimEvent::KernelCompleted { tag: t1, at: a1, .. },
+                SimEvent::KernelStarted {
+                    tag: t0,
+                    at: a0,
+                    mask,
+                    ..
+                },
+                SimEvent::KernelCompleted {
+                    tag: t1, at: a1, ..
+                },
             ) => {
                 assert_eq!((*t0, *t1), (11, 11));
                 assert_eq!(a0.as_nanos(), 5_000); // launch overhead
@@ -938,7 +1026,8 @@ mod tests {
     fn utilization_integrals_accumulate() {
         let mut m = machine();
         let q = m.create_queue();
-        m.set_queue_mask(q, CuMask::first_n(30, &m.topology())).unwrap();
+        m.set_queue_mask(q, CuMask::first_n(30, &m.topology()))
+            .unwrap();
         // Kernel with parallelism 15 on a 30-CU mask: 30 CUs busy but
         // only 15 CUs of service — fine-grain under-utilization.
         m.push_dispatch(q, KernelDesc::new("k", 1.5e7, 15), 0);
@@ -952,7 +1041,8 @@ mod tests {
     fn counters_track_inflight_kernels() {
         let mut m = machine();
         let q = m.create_queue();
-        m.set_queue_mask(q, CuMask::first_n(4, &m.topology())).unwrap();
+        m.set_queue_mask(q, CuMask::first_n(4, &m.topology()))
+            .unwrap();
         m.push_dispatch(q, KernelDesc::new("k", 1.0e9, 60), 0);
         // Step until the kernel starts.
         loop {

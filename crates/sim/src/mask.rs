@@ -329,10 +329,7 @@ mod tests {
     fn display_formats() {
         let mut m = CuMask::new();
         m.set(CuId(0));
-        assert_eq!(
-            m.to_string(),
-            "0x0000000000000000_0000000000000001"
-        );
+        assert_eq!(m.to_string(), "0x0000000000000000_0000000000000001");
     }
 
     #[test]

@@ -96,7 +96,10 @@ impl GpuTopology {
             total <= MAX_CUS,
             "topology of {total} CUs exceeds the {MAX_CUS}-CU mask limit"
         );
-        GpuTopology { num_ses, cus_per_se }
+        GpuTopology {
+            num_ses,
+            cus_per_se,
+        }
     }
 
     /// Number of shader engines.
@@ -241,7 +244,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert_eq!(GpuTopology::MI50.to_string(), "4 SEs x 15 CUs (60 CUs total)");
+        assert_eq!(
+            GpuTopology::MI50.to_string(),
+            "4 SEs x 15 CUs (60 CUs total)"
+        );
         assert_eq!(CuId(3).to_string(), "CU3");
         assert_eq!(SeId(1).to_string(), "SE1");
     }

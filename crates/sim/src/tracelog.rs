@@ -105,8 +105,7 @@ impl TraceLog {
         for s in &self.spans {
             let b0 = ((s.start.as_nanos() - t0.as_nanos()) * cols as u64 / span_ns)
                 .min(cols as u64 - 1) as usize;
-            let b1 = ((s.end.as_nanos().saturating_sub(1).max(s.start.as_nanos())
-                - t0.as_nanos())
+            let b1 = ((s.end.as_nanos().saturating_sub(1).max(s.start.as_nanos()) - t0.as_nanos())
                 * cols as u64
                 / span_ns)
                 .min(cols as u64 - 1) as usize;
@@ -191,7 +190,10 @@ mod tests {
         let s = &log.spans()[0];
         assert_eq!((s.queue, s.tag), (1, 7));
         assert_eq!(s.mask.count(), 4);
-        assert_eq!(log.extent(), Some((SimTime::from_nanos(10), SimTime::from_nanos(30))));
+        assert_eq!(
+            log.extent(),
+            Some((SimTime::from_nanos(10), SimTime::from_nanos(30)))
+        );
     }
 
     #[test]
@@ -233,5 +235,77 @@ mod tests {
         assert_eq!(log.gantt(&topo(), 5), "(empty trace)\n");
         assert_eq!(log.extent(), None);
         assert_eq!(log.occupancy_profile(&topo(), 3), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn overlapping_spans_on_one_queue_both_complete() {
+        let t = topo();
+        let mut log = TraceLog::new();
+        // Two kernels with distinct tags overlap in time on queue 0.
+        log.record_start(0, 0, SimTime::from_nanos(0), CuMask::first_n(10, &t));
+        log.record_start(0, 1, SimTime::from_nanos(50), CuMask::first_n(20, &t));
+        log.record_end(0, 0, SimTime::from_nanos(100));
+        log.record_end(0, 1, SimTime::from_nanos(150));
+        assert_eq!(log.spans().len(), 2);
+        assert_eq!(
+            log.extent(),
+            Some((SimTime::from_nanos(0), SimTime::from_nanos(150)))
+        );
+        // During the overlap ([50, 100)) both masks contribute: the
+        // middle third of a 3-bin profile sees 10 + 20 CUs.
+        let profile = log.occupancy_profile(&t, 3);
+        assert!((profile[1] - 30.0 / 60.0).abs() < 1e-9, "{profile:?}");
+    }
+
+    #[test]
+    fn restarting_a_tag_keeps_the_latest_open_span() {
+        let t = topo();
+        let mut log = TraceLog::new();
+        log.record_start(0, 0, SimTime::from_nanos(0), CuMask::first_n(1, &t));
+        // Same (queue, tag) starts again before completing: the newer
+        // start replaces the older one.
+        log.record_start(0, 0, SimTime::from_nanos(40), CuMask::first_n(2, &t));
+        log.record_end(0, 0, SimTime::from_nanos(100));
+        assert_eq!(log.spans().len(), 1);
+        let s = &log.spans()[0];
+        assert_eq!(s.start, SimTime::from_nanos(40));
+        assert_eq!(s.mask.count(), 2);
+        // A second end for the now-closed tag is ignored.
+        log.record_end(0, 0, SimTime::from_nanos(120));
+        assert_eq!(log.spans().len(), 1);
+    }
+
+    #[test]
+    fn single_instant_span_occupies_one_bin() {
+        let t = topo();
+        let mut log = TraceLog::new();
+        // Zero-duration span: extent collapses, span_ns clamps to 1.
+        log.record_start(0, 0, SimTime::from_nanos(5), CuMask::first_n(6, &t));
+        log.record_end(0, 0, SimTime::from_nanos(5));
+        assert_eq!(
+            log.extent(),
+            Some((SimTime::from_nanos(5), SimTime::from_nanos(5)))
+        );
+        let profile = log.occupancy_profile(&t, 4);
+        assert_eq!(profile.len(), 4);
+        // Zero-duration work contributes zero busy time everywhere.
+        assert!(profile.iter().all(|&v| v == 0.0), "{profile:?}");
+        // The chart still renders one cell per bin without panicking.
+        let chart = log.gantt(&t, 4);
+        assert!(chart.contains("AAAA") || chart.contains('A'), "{chart}");
+    }
+
+    #[test]
+    fn occupancy_profile_with_one_column_averages_everything() {
+        let t = topo();
+        let mut log = TraceLog::new();
+        // 30 CUs for the first half, 60 for the second: mean is 45/60.
+        log.record_start(0, 0, SimTime::from_nanos(0), CuMask::first_n(30, &t));
+        log.record_end(0, 0, SimTime::from_nanos(100));
+        log.record_start(0, 1, SimTime::from_nanos(100), CuMask::full(&t));
+        log.record_end(0, 1, SimTime::from_nanos(200));
+        let profile = log.occupancy_profile(&t, 1);
+        assert_eq!(profile.len(), 1);
+        assert!((profile[0] - 0.75).abs() < 1e-9, "{profile:?}");
     }
 }

@@ -18,8 +18,8 @@
 //! The discrete engine has no co-residency sharing (one workgroup owns a
 //! CU at a time), so validation scenarios use disjoint masks.
 
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use crate::mask::CuMask;
 use crate::time::{SimDuration, SimTime};

@@ -10,18 +10,40 @@ use krisp_sim::{
 /// A randomized host action.
 #[derive(Debug, Clone)]
 enum Action {
-    Dispatch { queue: u8, work_us: u16, parallelism: u16 },
-    SizedDispatch { queue: u8, work_us: u16, parallelism: u16, request: u16 },
-    Barrier { queue: u8 },
-    SignalledBarrier { queue: u8 },
-    Timer { delay_us: u16 },
-    SetMask { queue: u8, cus: u16 },
+    Dispatch {
+        queue: u8,
+        work_us: u16,
+        parallelism: u16,
+    },
+    SizedDispatch {
+        queue: u8,
+        work_us: u16,
+        parallelism: u16,
+        request: u16,
+    },
+    Barrier {
+        queue: u8,
+    },
+    SignalledBarrier {
+        queue: u8,
+    },
+    Timer {
+        delay_us: u16,
+    },
+    SetMask {
+        queue: u8,
+        cus: u16,
+    },
 }
 
 fn action_strategy() -> impl Strategy<Value = Action> {
     prop_oneof![
         (0u8..4, 10u16..5_000, 1u16..=60).prop_map(|(queue, work_us, parallelism)| {
-            Action::Dispatch { queue, work_us, parallelism }
+            Action::Dispatch {
+                queue,
+                work_us,
+                parallelism,
+            }
         }),
         (0u8..4, 10u16..5_000, 1u16..=60, 1u16..=60).prop_map(
             |(queue, work_us, parallelism, request)| Action::SizedDispatch {

@@ -68,11 +68,13 @@ fn emulation_style_barrier_chain_orders_mask_updates() {
     while let Some(ev) = m.step() {
         match ev {
             SimEvent::BarrierConsumed { tag: 101, .. } => {
-                m.set_queue_mask(q, CuMask::first_n(15, &m.topology())).unwrap();
+                m.set_queue_mask(q, CuMask::first_n(15, &m.topology()))
+                    .unwrap();
                 m.complete_signal(sig1);
             }
             SimEvent::BarrierConsumed { tag: 201, .. } => {
-                m.set_queue_mask(q, CuMask::first_n(30, &m.topology())).unwrap();
+                m.set_queue_mask(q, CuMask::first_n(30, &m.topology()))
+                    .unwrap();
                 m.complete_signal(sig2);
             }
             SimEvent::KernelStarted { mask, .. } => seen_masks.push(mask.count()),
@@ -88,7 +90,8 @@ fn energy_decomposes_into_idle_plus_active() {
     // equal active-phase power * t + idle power * t.
     let mut m = machine();
     let q = m.create_queue();
-    m.set_queue_mask(q, CuMask::first_n(15, &m.topology())).unwrap();
+    m.set_queue_mask(q, CuMask::first_n(15, &m.topology()))
+        .unwrap();
     m.push_dispatch(q, KernelDesc::new("k", 1.5e6, 60), 0);
     drain(&mut m);
     let after_kernel = m.energy_joules();

@@ -34,7 +34,10 @@ fn main() {
         "policy", "albert x", "resnext x", "p95 worst", "J/inf"
     );
     for policy in Policy::ALL {
-        let r = run_server(&ServerConfig::closed_loop(policy, models.clone(), 32), &perfdb);
+        let r = run_server(
+            &ServerConfig::closed_loop(policy, models.clone(), 32),
+            &perfdb,
+        );
         let w = r.window.as_secs_f64();
         println!(
             "{:<18} {:>10.2} {:>12.2} {:>10.1} {:>8.2}",

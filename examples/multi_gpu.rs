@@ -10,7 +10,11 @@ use krisp_suite::server::{oracle_perfdb, run_cluster, ClusterConfig, Routing};
 use krisp_suite::sim::SimDuration;
 
 fn main() {
-    let models = vec![ModelKind::Albert, ModelKind::Squeezenet, ModelKind::Resnet152];
+    let models = vec![
+        ModelKind::Albert,
+        ModelKind::Squeezenet,
+        ModelKind::Resnet152,
+    ];
     let db = oracle_perfdb(&models, &[32]);
 
     println!(

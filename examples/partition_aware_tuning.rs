@@ -47,10 +47,8 @@ fn main() {
     let full_winner = curve.last().expect("non-empty").variant;
     let mut worst = 1.0f64;
     for c in &curve {
-        let naive = profiler.measure_trace(
-            std::slice::from_ref(&op.variants[full_winner]),
-            c.cu_budget,
-        );
+        let naive =
+            profiler.measure_trace(std::slice::from_ref(&op.variants[full_winner]), c.cu_budget);
         worst = worst.max(naive.as_nanos() as f64 / c.latency.as_nanos() as f64);
     }
     println!(

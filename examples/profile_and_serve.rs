@@ -33,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let measured = table.lookup(k).expect("profiled") as i32;
         max_err = max_err.max((measured - k.parallelism as i32).abs());
     }
-    println!("largest |measured - true knee| across {} kernels: {max_err} CUs", trace.len());
+    println!(
+        "largest |measured - true knee| across {} kernels: {max_err} CUs",
+        trace.len()
+    );
 
     // 4. Serve 4 concurrent workers under KRISP-I using the measured table.
     let r = run_server(

@@ -7,7 +7,7 @@
 
 use krisp_suite::core::KrispAllocator;
 use krisp_suite::models::{generate_trace, ModelKind, TraceConfig};
-use krisp_suite::runtime::{PartitionMode, Runtime, RuntimeConfig, RtEvent};
+use krisp_suite::runtime::{PartitionMode, RtEvent, Runtime, RuntimeConfig};
 use krisp_suite::server::oracle_perfdb;
 use krisp_suite::sim::TraceLog;
 
@@ -33,7 +33,12 @@ fn record(mode: PartitionMode, title: &str) {
     let mut log = TraceLog::new();
     while let Some(ev) = rt.step() {
         match ev {
-            RtEvent::KernelStarted { stream, tag, at, mask } => {
+            RtEvent::KernelStarted {
+                stream,
+                tag,
+                at,
+                mask,
+            } => {
                 log.record_start(stream.0, tag, at, mask);
             }
             RtEvent::KernelCompleted { stream, tag, at } => {

@@ -30,7 +30,10 @@ fn profile_persist_load_serve_pipeline() {
     let _ = std::fs::remove_file(&path);
 
     // 3. Serve with KRISP-I using the measured table.
-    let r = run_server(&quick_cfg(Policy::KrispI, vec![ModelKind::Squeezenet; 2]), &db);
+    let r = run_server(
+        &quick_cfg(Policy::KrispI, vec![ModelKind::Squeezenet; 2]),
+        &db,
+    );
     assert!(r.total_inferences() > 20);
     let p95 = r.max_p95_ms().expect("completions");
     // Two right-sized squeezenets barely interfere: near-isolated p95.
@@ -142,7 +145,9 @@ fn native_krisp_is_cheaper_than_emulated_krisp() {
         rt.now()
     };
     let native = run(PartitionMode::KernelScopedNative);
-    let emulated = run(PartitionMode::KernelScopedEmulated(EmulationCosts::default()));
+    let emulated = run(PartitionMode::KernelScopedEmulated(
+        EmulationCosts::default(),
+    ));
     assert!(native < emulated);
 }
 
@@ -187,6 +192,12 @@ fn fig16_limit_endpoints_match_krisp_variants() {
     as_o.overlap_limit = Some(60);
     let i_ref = run_server(&quick_cfg(Policy::KrispI, models.clone()), &db);
     let o_ref = run_server(&quick_cfg(Policy::KrispO, models), &db);
-    assert_eq!(run_server(&as_i, &db).total_inferences(), i_ref.total_inferences());
-    assert_eq!(run_server(&as_o, &db).total_inferences(), o_ref.total_inferences());
+    assert_eq!(
+        run_server(&as_i, &db).total_inferences(),
+        i_ref.total_inferences()
+    );
+    assert_eq!(
+        run_server(&as_o, &db).total_inferences(),
+        o_ref.total_inferences()
+    );
 }

@@ -2,9 +2,7 @@
 //! versions of the checks the `krisp-bench` binaries print.
 
 use krisp_suite::core::{select_cus, DistributionPolicy, Policy, KNEE_TOLERANCE};
-use krisp_suite::models::{
-    analytic_latency, generate_trace, ModelKind, TraceConfig,
-};
+use krisp_suite::models::{analytic_latency, generate_trace, ModelKind, TraceConfig};
 use krisp_suite::runtime::{Runtime, RuntimeConfig};
 use krisp_suite::server::{oracle_perfdb, run_server, ServerConfig};
 use krisp_suite::sim::{GpuTopology, KernelDesc, SimDuration};
@@ -32,12 +30,8 @@ fn table3_reproduces_for_all_models() {
             p.kind,
             p.right_size_cus
         );
-        let lat = analytic_latency(
-            &trace,
-            60,
-            TraceConfig::default().launch_overhead,
-        )
-        .as_millis_f64();
+        let lat =
+            analytic_latency(&trace, 60, TraceConfig::default().launch_overhead).as_millis_f64();
         assert!(
             (lat - p.p95_ms).abs() / p.p95_ms < 0.02,
             "{}: latency {lat} vs paper {}",
@@ -83,7 +77,10 @@ fn fig8_spike_structure() {
     for n in 1..=60u16 {
         let c = measure(Conserved, n) as f64;
         let best = measure(Packed, n).min(measure(Distributed, n)) as f64;
-        assert!(c <= best * 1.15, "conserved {c} far behind best {best} at {n}");
+        assert!(
+            c <= best * 1.15,
+            "conserved {c} far behind best {best} at {n}"
+        );
     }
 }
 
@@ -151,11 +148,7 @@ fn mask_generation_is_microsecond_scale() {
     let start = std::time::Instant::now();
     const N: u32 = 10_000;
     for _ in 0..N {
-        std::hint::black_box(alloc.allocate(
-            std::hint::black_box(30),
-            &counters,
-            &topo,
-        ));
+        std::hint::black_box(alloc.allocate(std::hint::black_box(30), &counters, &topo));
     }
     let per_call = start.elapsed() / N;
     assert!(

@@ -1,0 +1,526 @@
+//! Offline shim for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! `proptest!` macro (with optional `#![proptest_config(...)]`), range
+//! and tuple strategies, `prop_map`, `prop_oneof!`, `collection::vec`,
+//! `bool::ANY`, and the `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from real proptest, deliberately accepted for an offline
+//! test shim: generation is a deterministic per-test PRNG (seeded from
+//! the test name, so failures reproduce exactly) and there is no
+//! shrinking — a failing case reports the assertion message and the
+//! case number instead of a minimized input.
+
+#![forbid(unsafe_code)]
+
+/// Strategy trait and combinators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of values of type `Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value: std::fmt::Debug;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            O: std::fmt::Debug,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Boxes the strategy for heterogeneous unions (`prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A boxed, type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T: std::fmt::Debug> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        O: std::fmt::Debug,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between boxed strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T: std::fmt::Debug> Union<T> {
+        /// Builds a union over the given options. Panics if empty.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T: std::fmt::Debug> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = (rng.next_u64() % self.options.len() as u64) as usize;
+            self.options[i].generate(rng)
+        }
+    }
+
+    macro_rules! int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as u128).wrapping_sub(self.start as u128);
+                    self.start + (rng.next_u64() as u128 % span) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty strategy range");
+                    let span = (hi as u128) - (lo as u128) + 1;
+                    lo + (rng.next_u64() as u128 % span) as $t
+                }
+            }
+        )*};
+    }
+    int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty strategy range");
+            let v = self.start + rng.next_f64() * (self.end - self.start);
+            if v >= self.end {
+                self.start
+            } else {
+                v
+            }
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "empty strategy range");
+            lo + rng.next_f64() * (hi - lo)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($n:tt $s:ident),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$n.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (0 A, 1 B)
+        (0 A, 1 B, 2 C)
+        (0 A, 1 B, 2 C, 3 D)
+    }
+}
+
+/// Strategies over collections.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Element-count specification for [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` with a length drawn from
+    /// `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Output of [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi_inclusive - self.size.lo + 1) as u64;
+            let len = self.size.lo + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Strategies for `bool`.
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Uniformly random booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The canonical `bool` strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Test-runner plumbing: config, RNG, case outcomes.
+pub mod test_runner {
+    /// Per-test configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of accepted cases to run.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` accepted cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; try another case.
+        Reject(String),
+        /// An assertion failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// A failed assertion.
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// A rejected assumption.
+        pub fn reject(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Result of one generated case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Deterministic splitmix64 generator; seeded from the test name so
+    /// every run of a given test sees the same sequence.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds from an arbitrary string (the test name).
+        pub fn for_test(name: &str) -> TestRng {
+            // FNV-1a over the name.
+            let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+/// The glob-import surface, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests; see the crate docs for supported syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::for_test(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            let mut accepted: u32 = 0;
+            let mut attempts: u32 = 0;
+            let max_attempts = config.cases.saturating_mul(20).max(1_000);
+            while accepted < config.cases {
+                attempts += 1;
+                assert!(
+                    attempts <= max_attempts,
+                    "proptest: too many rejected cases ({} accepted of {} wanted)",
+                    accepted,
+                    config.cases,
+                );
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                let outcome: $crate::test_runner::TestCaseResult = (|| {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::core::result::Result::Ok(()) => accepted += 1,
+                    ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Reject(_),
+                    ) => {}
+                    ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(msg),
+                    ) => {
+                        panic!(
+                            "proptest case {} of `{}` failed: {}",
+                            attempts,
+                            stringify!($name),
+                            msg
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+/// Discards the current case unless the assumption holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u16..9, y in 0.25f64..=0.75) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((0.25..=0.75).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_respect_size(v in crate::collection::vec(0u8..10, 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5, "len {}", v.len());
+            prop_assert!(v.iter().all(|&b| b < 10));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn oneof_and_map_compose(v in prop_oneof![
+            (0u8..4).prop_map(|x| x as u32),
+            (10u8..14).prop_map(|x| x as u32),
+        ]) {
+            prop_assert!(v < 4 || (10..14).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,401 @@
+//! Offline shim for the [`serde`](https://crates.io/crates/serde) crate.
+//!
+//! The build environment has no network access to a crates registry, so
+//! this in-tree stand-in provides the subset of serde this workspace
+//! relies on. Instead of serde's visitor architecture it uses a simple
+//! tree model: `Serialize` lowers a value to [`Value`], `Deserialize`
+//! lifts it back. `serde_json` (the sibling shim) renders and parses
+//! that tree. The `Deserialize` trait keeps serde's `'de` lifetime
+//! parameter so downstream `for<'de> Deserialize<'de>` bounds compile
+//! unchanged.
+//!
+//! Representation choices mirror real `serde_json` output for the types
+//! this workspace derives: structs become objects with fields in
+//! declaration order, newtype structs are transparent, tuple structs
+//! and tuples become arrays, and unit-only enums become their variant
+//! name as a string.
+
+#![forbid(unsafe_code)]
+
+mod value;
+
+pub use value::{Number, Value};
+
+/// Serialization: lower `self` into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` to a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialization machinery.
+pub mod de {
+    use super::{Deserialize, Value};
+    use std::fmt;
+
+    /// Error produced when a [`Value`] cannot be lifted into the target
+    /// type.
+    #[derive(Debug, Clone)]
+    pub struct Error {
+        msg: String,
+    }
+
+    impl Error {
+        /// Creates an error with the given message.
+        pub fn custom(msg: impl fmt::Display) -> Error {
+            Error {
+                msg: msg.to_string(),
+            }
+        }
+    }
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "{}", self.msg)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// Looks up `name` in an object value and deserializes it.
+    ///
+    /// This is the helper the derive macro generates calls to; leaning
+    /// on type inference here means the macro never has to parse field
+    /// types.
+    pub fn field<T: for<'de> Deserialize<'de>>(v: &Value, name: &str) -> Result<T, Error> {
+        match v {
+            Value::Object(fields) => match fields.iter().find(|(k, _)| k == name) {
+                Some((_, fv)) => T::from_value(fv),
+                // Tolerate a missing field when the target has a null
+                // form (e.g. Option) by trying Null; otherwise report.
+                None => T::from_value(&Value::Null)
+                    .map_err(|_| Error::custom(format!("missing field `{name}`"))),
+            },
+            other => Err(Error::custom(format!(
+                "expected object with field `{name}`, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Deserializes the `i`-th element of an array value (tuple structs).
+    pub fn element<T: for<'de> Deserialize<'de>>(v: &Value, i: usize) -> Result<T, Error> {
+        match v {
+            Value::Array(items) => match items.get(i) {
+                Some(item) => T::from_value(item),
+                None => Err(Error::custom(format!("missing tuple element {i}"))),
+            },
+            other => Err(Error::custom(format!(
+                "expected array, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+/// Deserialization: lift a [`Value`] tree into `Self`.
+///
+/// The `'de` lifetime is unused (this shim is tree-based, not
+/// borrow-based) but kept so `for<'de> Deserialize<'de>` bounds written
+/// against real serde still apply.
+pub trait Deserialize<'de>: Sized {
+    /// Builds `Self` from a [`Value`].
+    fn from_value(v: &Value) -> Result<Self, de::Error>;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+// ---------------------------------------------------------------------
+// Serialize impls
+// ---------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::U(*self as u64))
+            }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::Number(Number::U(v as u64))
+                } else {
+                    Value::Number(Number::I(v))
+                }
+            }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        if self.is_finite() {
+            Value::Number(Number::F(*self))
+        } else {
+            // Real serde_json emits null for NaN/inf.
+            Value::Null
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        f64::from(*self).to_value()
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+    )*};
+}
+ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deserialize impls
+// ---------------------------------------------------------------------
+
+use de::Error;
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!(
+                "expected bool, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+macro_rules! de_uint {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_u64().ok_or_else(|| {
+                    Error::custom(format!(
+                        "expected unsigned integer, got {}",
+                        v.kind()
+                    ))
+                })?;
+                <$t>::try_from(n)
+                    .map_err(|_| Error::custom(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_i64().ok_or_else(|| {
+                    Error::custom(format!("expected integer, got {}", v.kind()))
+                })?;
+                <$t>::try_from(n)
+                    .map_err(|_| Error::custom(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+de_int!(i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Number(n) => Ok(n.as_f64()),
+            // Round-trip for non-finite floats serialized as null.
+            Value::Null => Ok(f64::NAN),
+            other => Err(Error::custom(format!(
+                "expected number, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) if s.chars().count() == 1 => Ok(s.chars().next().expect("one char")),
+            other => Err(Error::custom(format!(
+                "expected char, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!(
+                "expected string, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::custom(format!(
+                "expected array, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>, const N: usize> Deserialize<'de> for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        let len = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| Error::custom(format!("expected array of {N}, got {len}")))
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($len:literal: $($n:tt $t:ident),+))*) => {$(
+        impl<'de, $($t: for<'a> Deserialize<'a>),+> Deserialize<'de> for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Array(items) if items.len() == $len => {
+                        Ok(($($t::from_value(&items[$n])?,)+))
+                    }
+                    other => Err(Error::custom(format!(
+                        "expected {}-tuple, got {}",
+                        $len,
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+de_tuple! {
+    (1: 0 A)
+    (2: 0 A, 1 B)
+    (3: 0 A, 1 B, 2 C)
+    (4: 0 A, 1 B, 2 C, 3 D)
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}

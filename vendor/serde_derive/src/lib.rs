@@ -1,0 +1,349 @@
+//! Offline shim for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! type shapes this workspace actually uses — named-field structs,
+//! tuple structs (newtypes are transparent), unit structs, and enums
+//! whose variants are all unit variants (serialized as the variant name,
+//! matching real serde's externally-tagged representation). No `syn` or
+//! `quote`: the item is parsed directly from the token stream and the
+//! impl is emitted as source text.
+//!
+//! Unsupported shapes (generics, data-carrying enum variants, `#[serde]`
+//! attributes) produce a `compile_error!` naming the limitation rather
+//! than silently wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of the deriving item.
+enum Item {
+    /// `struct S { a: T, b: U }` — field names in declaration order.
+    Named(String, Vec<String>),
+    /// `struct S(T, U);` — field count.
+    Tuple(String, usize),
+    /// `struct S;`
+    Unit(String),
+    /// `enum E { A, B }` — all variants unit.
+    Enum(String, Vec<String>),
+    /// Anything this shim does not model.
+    Unsupported(String),
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("valid error tokens")
+}
+
+/// Skips attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2, // '#' + [...]
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Splits a field-list group on top-level commas, tracking both group
+/// nesting (done by the tokenizer) and `<...>` angle depth (not).
+fn count_top_level_items(group: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut items = 1;
+    let mut angle: i32 = 0;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        trailing_comma = false;
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    items += 1;
+                    trailing_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    if trailing_comma {
+        items -= 1;
+    }
+    items
+}
+
+/// Extracts field names from a named-fields brace group.
+fn named_fields(group: &proc_macro::Group) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("unexpected token in field list: {other}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        // Skip the type: consume until a top-level comma.
+        let mut angle: i32 = 0;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) => match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                },
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Extracts unit-variant names from an enum brace group.
+fn enum_variants(group: &proc_macro::Group) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("unexpected token in enum body: {other}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            None => {
+                variants.push(name);
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                variants.push(name);
+                i += 1;
+            }
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "variant `{name}` carries data; this serde shim only derives unit-variant enums"
+                ));
+            }
+            Some(other) => {
+                return Err(format!("unexpected token after variant `{name}`: {other}"));
+            }
+        }
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Item::Unsupported("expected `struct` or `enum`".into()),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Item::Unsupported("expected type name".into()),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Item::Unsupported(format!(
+                "`{name}` is generic; this serde shim only derives non-generic types"
+            ));
+        }
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                match named_fields(g) {
+                    Ok(fields) => Item::Named(name, fields),
+                    Err(e) => Item::Unsupported(e),
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::Tuple(name, count_top_level_items(g))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::Unit(name),
+            _ => Item::Unsupported(format!("unrecognized struct body for `{name}`")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                match enum_variants(g) {
+                    Ok(vs) => Item::Enum(name, vs),
+                    Err(e) => Item::Unsupported(e),
+                }
+            }
+            _ => Item::Unsupported(format!("unrecognized enum body for `{name}`")),
+        },
+        other => Item::Unsupported(format!("cannot derive serde traits for `{other}` items")),
+    }
+}
+
+/// `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let body = match parse_item(input) {
+        Item::Named(name, fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(::std::vec![{pushes}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Tuple(name, 1) => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::to_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Item::Tuple(name, n) => {
+            let elems: String = (0..n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Array(::std::vec![{elems}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Unit(name) => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+             }}"
+        ),
+        Item::Enum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!("{name}::{v} => ::serde::Value::String(::std::string::String::from({v:?})),")
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Unsupported(msg) => return compile_error(&msg),
+    };
+    body.parse().expect("generated Serialize impl parses")
+}
+
+/// `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let body = match parse_item(input) {
+        Item::Named(name, fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de::field(v, {f:?})?,"))
+                .collect();
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::de::Error> {{\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Tuple(name, 1) => format!(
+            "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                 fn from_value(v: &::serde::Value) \
+                     -> ::std::result::Result<Self, ::serde::de::Error> {{\n\
+                     ::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Item::Tuple(name, n) => {
+            let elems: String = (0..n)
+                .map(|i| format!("::serde::de::element(v, {i})?,"))
+                .collect();
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::de::Error> {{\n\
+                         ::std::result::Result::Ok({name}({elems}))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Unit(name) => format!(
+            "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                 fn from_value(_v: &::serde::Value) \
+                     -> ::std::result::Result<Self, ::serde::de::Error> {{\n\
+                     ::std::result::Result::Ok({name})\n\
+                 }}\n\
+             }}"
+        ),
+        Item::Enum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::de::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::String(s) => match s.as_str() {{\n\
+                                 {arms}\n\
+                                 other => ::std::result::Result::Err(::serde::de::Error::custom(\
+                                     ::std::format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                             }},\n\
+                             other => ::std::result::Result::Err(::serde::de::Error::custom(\
+                                 ::std::format!(\"expected {name} variant string, got {{}}\", \
+                                     other.kind()))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Unsupported(msg) => return compile_error(&msg),
+    };
+    body.parse().expect("generated Deserialize impl parses")
+}
