@@ -1,0 +1,11 @@
+//! Fault-injection robustness figure: three scripted failure scenarios
+//! across MPS-default / static-equal / KRISP-I. `KRISP_SMOKE=1` runs the
+//! short-horizon CI variant against the oracle perfdb.
+fn main() {
+    let db = if krisp_bench::robustness_faults::smoke() {
+        krisp_server::oracle_perfdb(&[krisp_models::ModelKind::Squeezenet], &[32])
+    } else {
+        krisp_bench::measured_perfdb(&[32])
+    };
+    krisp_bench::robustness_faults::run(&db);
+}

@@ -25,6 +25,7 @@
 //! | `fig16_overlap` | Fig 16 (overlap-limit sensitivity) |
 //! | `ablations` | design-choice ablations (granularity, distribution, costs, γ) |
 //! | `validation` | fluid-vs-discrete execution-model cross-check |
+//! | `robustness_faults` | fault-injection scenarios (stragglers / CU loss / crash) |
 //! | `run_all` | everything above, in order |
 
 #![forbid(unsafe_code)]
@@ -45,6 +46,7 @@ pub mod fig14;
 pub mod fig15;
 pub mod fig16;
 pub mod robustness;
+pub mod robustness_faults;
 pub mod summary;
 pub mod table3;
 pub mod table4;

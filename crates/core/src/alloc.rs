@@ -377,6 +377,27 @@ mod tests {
     }
 
     #[test]
+    fn saturated_failed_cus_are_routed_around() {
+        // When CUs die, the machine saturates their counters; Algorithm 1
+        // then sees them as maximally loaded and, in isolated mode, never
+        // grants them — kernel-scoped allocation degrades gracefully to
+        // the healthy CUs with no special-casing.
+        let t = topo();
+        let mut counters = CuKernelCounters::new(t);
+        let failed = CuMask::first_n(15, &t);
+        counters.saturate(&failed);
+        let mut a = KrispAllocator::isolated();
+        let m = a.allocate(30, &counters, &t);
+        assert_eq!(m.count(), 30);
+        assert!(!m.intersects(&failed), "allocated a failed CU");
+        // Even when the request wants the whole device, only healthy CUs
+        // are granted.
+        let m = a.allocate(60, &counters, &t);
+        assert!(m.count() <= 45);
+        assert!(!m.intersects(&failed));
+    }
+
+    #[test]
     fn display_shows_limit() {
         assert_eq!(
             KrispAllocator::isolated().to_string(),

@@ -47,6 +47,7 @@ pub mod tuner;
 
 pub use alloc::{InstrumentedAllocator, KrispAllocator};
 pub use distribution::{select_cus, DistributionPolicy};
+pub use krisp_runtime::KrispError;
 pub use policy::{assign_model_partitions, prior_work_partitions, static_equal_masks, Policy};
 pub use profiler::{KernelProfile, ModelCurve, Profiler};
 pub use rightsize::{knee_from_curve, KNEE_TOLERANCE};

@@ -109,6 +109,112 @@ pub enum EventKind {
         /// open-loop arrivals, inference start for closed loop).
         start_ns: u64,
     },
+    // ----- fault-injection / degradation lifecycle (PR 2) -----
+    /// Compute units permanently failed (injected partial-device fault).
+    CusFailed {
+        /// The CUs that just died, as two little-endian bit words.
+        mask: [u64; 2],
+        /// Total failed CUs on the device after this fault.
+        total_failed: u16,
+    },
+    /// A queue stopped draining packets (injected stall).
+    QueueStalled {
+        /// Hardware queue index.
+        queue: u32,
+        /// Stall length in nanoseconds.
+        dur_ns: u64,
+    },
+    /// A straggler window opened: kernels dispatched inside it have
+    /// their work multiplied.
+    StragglerWindow {
+        /// Affected queue, or `u32::MAX` for every queue.
+        queue: u32,
+        /// Work multiplier in percent (250 = 2.5x).
+        factor_pct: u32,
+        /// Window length in nanoseconds.
+        dur_ns: u64,
+    },
+    /// A CU-mask apply (IOCTL) was rejected by an injected fault.
+    MaskApplyFault {
+        /// Hardware queue index.
+        queue: u32,
+    },
+    /// The watchdog declared a kernel timed out (exceeded k× its
+    /// expected duration) and aborted it.
+    KernelTimeout {
+        /// Hardware queue index.
+        queue: u32,
+        /// Host correlation tag.
+        tag: u64,
+        /// How long the kernel had been running.
+        ran_ns: u64,
+        /// The watchdog's expected-duration estimate.
+        expected_ns: u64,
+    },
+    /// An aborted kernel is being retried after backoff.
+    KernelRetry {
+        /// Hardware queue index.
+        queue: u32,
+        /// Host correlation tag.
+        tag: u64,
+        /// Retry attempt number (1 = first retry).
+        attempt: u32,
+    },
+    /// The watchdog gave up on a kernel after exhausting retries.
+    KernelAbandoned {
+        /// Hardware queue index.
+        queue: u32,
+        /// Host correlation tag.
+        tag: u64,
+        /// Retries that were attempted before giving up.
+        attempts: u32,
+    },
+    /// Persistent mask-apply faults forced a stream from kernel-scoped
+    /// down to stream-scoped masking.
+    FallbackStreamScoped {
+        /// Hardware queue index.
+        queue: u32,
+    },
+    /// A request was rejected because the worker's bounded queue was
+    /// full (load shedding).
+    RequestShed {
+        /// Monotonic per-worker request id.
+        request_id: u64,
+        /// Queue depth at rejection time.
+        depth: u32,
+    },
+    /// A request exceeded its deadline and was dropped (possibly after a
+    /// retry elsewhere).
+    RequestTimedOut {
+        /// Monotonic per-worker request id.
+        request_id: u64,
+        /// How long the request had been waiting.
+        waited_ns: u64,
+    },
+    /// A timed-out request was re-routed to another worker/GPU.
+    RequestRetried {
+        /// Monotonic per-worker request id.
+        request_id: u64,
+        /// Destination GPU index.
+        to_gpu: u32,
+    },
+    /// A serving worker/GPU changed health state.
+    WorkerHealth {
+        /// GPU index.
+        gpu: u32,
+        /// New state: 0 healthy, 1 degraded, 2 draining, 3 restarting.
+        state: u32,
+    },
+    /// The routing circuit breaker ejected a GPU.
+    BreakerTripped {
+        /// GPU index.
+        gpu: u32,
+    },
+    /// The routing circuit breaker re-admitted a GPU.
+    BreakerReset {
+        /// GPU index.
+        gpu: u32,
+    },
 }
 
 impl EventKind {
@@ -125,6 +231,20 @@ impl EventKind {
             EventKind::RequestEnqueued { .. } => "request_enqueued",
             EventKind::BatchFormed { .. } => "batch_formed",
             EventKind::RequestDone { .. } => "request_done",
+            EventKind::CusFailed { .. } => "cus_failed",
+            EventKind::QueueStalled { .. } => "queue_stalled",
+            EventKind::StragglerWindow { .. } => "straggler_window",
+            EventKind::MaskApplyFault { .. } => "mask_apply_fault",
+            EventKind::KernelTimeout { .. } => "kernel_timeout",
+            EventKind::KernelRetry { .. } => "kernel_retry",
+            EventKind::KernelAbandoned { .. } => "kernel_abandoned",
+            EventKind::FallbackStreamScoped { .. } => "fallback_stream_scoped",
+            EventKind::RequestShed { .. } => "request_shed",
+            EventKind::RequestTimedOut { .. } => "request_timed_out",
+            EventKind::RequestRetried { .. } => "request_retried",
+            EventKind::WorkerHealth { .. } => "worker_health",
+            EventKind::BreakerTripped { .. } => "breaker_tripped",
+            EventKind::BreakerReset { .. } => "breaker_reset",
         }
     }
 }

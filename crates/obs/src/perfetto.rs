@@ -34,6 +34,9 @@ pub const TID_REQUESTS: u32 = 0;
 pub const TID_KERNELS: u32 = 1;
 /// Reconfigurations track id within a worker process.
 pub const TID_RECONFIG: u32 = 2;
+/// Faults/degradation track id within a worker process (also used on the
+/// synthetic device process for device-wide faults such as CU loss).
+pub const TID_FAULTS: u32 = 3;
 
 /// Microseconds with three decimals from integer nanoseconds — exact
 /// and locale/float-independent, so golden fixtures are byte-stable.
@@ -209,6 +212,102 @@ pub fn chrome_trace(events: &[Event], cus_per_se: u16) -> String {
                     instant_json("batch", ts, event.worker, TID_REQUESTS, &args),
                 ));
             }
+            // Fault/degradation lifecycle: rendered as instants on a
+            // dedicated per-worker faults track so injected failures and
+            // the stack's reactions line up against kernels/requests.
+            kind @ (EventKind::CusFailed { .. }
+            | EventKind::QueueStalled { .. }
+            | EventKind::StragglerWindow { .. }
+            | EventKind::MaskApplyFault { .. }
+            | EventKind::KernelTimeout { .. }
+            | EventKind::KernelRetry { .. }
+            | EventKind::KernelAbandoned { .. }
+            | EventKind::FallbackStreamScoped { .. }
+            | EventKind::RequestShed { .. }
+            | EventKind::RequestTimedOut { .. }
+            | EventKind::RequestRetried { .. }
+            | EventKind::WorkerHealth { .. }
+            | EventKind::BreakerTripped { .. }
+            | EventKind::BreakerReset { .. }) => {
+                let (pid, args) = match kind {
+                    EventKind::CusFailed { total_failed, .. } => {
+                        (event.worker, format!("{{\"total_failed\":{total_failed}}}"))
+                    }
+                    EventKind::QueueStalled { queue, dur_ns } => {
+                        (*queue, format!("{{\"dur_us\":{}}}", us(*dur_ns)))
+                    }
+                    EventKind::StragglerWindow {
+                        queue,
+                        factor_pct,
+                        dur_ns,
+                    } => {
+                        let pid = if *queue == u32::MAX {
+                            event.worker
+                        } else {
+                            *queue
+                        };
+                        (
+                            pid,
+                            format!("{{\"factor_pct\":{factor_pct},\"dur_us\":{}}}", us(*dur_ns)),
+                        )
+                    }
+                    EventKind::MaskApplyFault { queue } => (*queue, "{}".to_string()),
+                    EventKind::KernelTimeout {
+                        queue,
+                        tag,
+                        ran_ns,
+                        expected_ns,
+                    } => (
+                        *queue,
+                        format!(
+                            "{{\"tag\":{tag},\"ran_us\":{},\"expected_us\":{}}}",
+                            us(*ran_ns),
+                            us(*expected_ns)
+                        ),
+                    ),
+                    EventKind::KernelRetry {
+                        queue,
+                        tag,
+                        attempt,
+                    } => (*queue, format!("{{\"tag\":{tag},\"attempt\":{attempt}}}")),
+                    EventKind::KernelAbandoned {
+                        queue,
+                        tag,
+                        attempts,
+                    } => (*queue, format!("{{\"tag\":{tag},\"attempts\":{attempts}}}")),
+                    EventKind::FallbackStreamScoped { queue } => (*queue, "{}".to_string()),
+                    EventKind::RequestShed { request_id, depth } => (
+                        event.worker,
+                        format!("{{\"request\":{request_id},\"depth\":{depth}}}"),
+                    ),
+                    EventKind::RequestTimedOut {
+                        request_id,
+                        waited_ns,
+                    } => (
+                        event.worker,
+                        format!(
+                            "{{\"request\":{request_id},\"waited_us\":{}}}",
+                            us(*waited_ns)
+                        ),
+                    ),
+                    EventKind::RequestRetried { request_id, to_gpu } => (
+                        event.worker,
+                        format!("{{\"request\":{request_id},\"to_gpu\":{to_gpu}}}"),
+                    ),
+                    EventKind::WorkerHealth { gpu, state } => {
+                        (*gpu, format!("{{\"state\":{state}}}"))
+                    }
+                    EventKind::BreakerTripped { gpu } | EventKind::BreakerReset { gpu } => {
+                        (*gpu, "{}".to_string())
+                    }
+                    _ => unreachable!("outer arm restricts the kinds"),
+                };
+                tracks.insert((pid, TID_FAULTS), "faults");
+                drawn.push((
+                    (ts, pid, TID_FAULTS, 0),
+                    instant_json(kind.name(), ts, pid, TID_FAULTS, &args),
+                ));
+            }
             // Dispatch/reconfig starts are subsumed by their completion
             // spans; they still feed the metrics registry.
             EventKind::KernelDispatch { .. } | EventKind::ReconfigStart { .. } => {}
@@ -314,6 +413,36 @@ mod tests {
         assert_eq!(us(0), "0.000");
         assert_eq!(us(1), "0.001");
         assert_eq!(us(1_234_567), "1234.567");
+    }
+
+    #[test]
+    fn fault_events_land_on_the_faults_track() {
+        let events = [
+            Event {
+                ts_ns: 1_000,
+                worker: 2,
+                kind: EventKind::KernelTimeout {
+                    queue: 2,
+                    tag: 7,
+                    ran_ns: 9_000,
+                    expected_ns: 1_000,
+                },
+            },
+            Event {
+                ts_ns: 2_000,
+                worker: 0,
+                kind: EventKind::CusFailed {
+                    mask: [0x7fff, 0],
+                    total_failed: 15,
+                },
+            },
+        ];
+        let json = chrome_trace(&events, 0);
+        assert!(json.contains("\"name\":\"kernel_timeout\""));
+        assert!(json.contains(&format!("\"pid\":2,\"tid\":{TID_FAULTS}")));
+        assert!(json.contains("\"name\":\"cus_failed\""));
+        assert!(json.contains("\"total_failed\":15"));
+        assert!(json.contains("\"name\":\"faults\""));
     }
 
     #[test]

@@ -41,8 +41,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod perfdb;
 pub mod runtime;
 
+pub use error::KrispError;
 pub use perfdb::RequiredCusTable;
-pub use runtime::{EmulationCosts, PartitionMode, RtEvent, Runtime, RuntimeConfig, StreamId};
+pub use runtime::{
+    EmulationCosts, PartitionMode, RtEvent, Runtime, RuntimeConfig, StreamId, WatchdogConfig,
+};

@@ -16,6 +16,8 @@ use serde::{Deserialize, Serialize};
 
 use krisp_sim::KernelDesc;
 
+use crate::error::KrispError;
+
 /// One profiled entry, as serialized to disk.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 struct Entry {
@@ -72,6 +74,33 @@ impl RequiredCusTable {
     /// whole device, like the baseline).
     pub fn lookup_or_full(&self, kernel: &KernelDesc, full: u16) -> u16 {
         self.lookup(kernel).unwrap_or(full)
+    }
+
+    /// A validated lookup for serving: `Ok(None)` is an ordinary miss
+    /// (legacy kernel — callers fall back to the full device, like the
+    /// baseline), `Ok(Some(cus))` a usable profile, and
+    /// [`KrispError::StalePerfDbEntry`] an entry claiming more CUs than
+    /// the device has — a profile from different hardware that must not
+    /// be trusted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KrispError::StalePerfDbEntry`] when the profiled value
+    /// exceeds `total_cus`.
+    pub fn lookup_validated(
+        &self,
+        kernel: &KernelDesc,
+        total_cus: u16,
+    ) -> Result<Option<u16>, KrispError> {
+        match self.lookup(kernel) {
+            None => Ok(None),
+            Some(cus) if cus <= total_cus => Ok(Some(cus)),
+            Some(cus) => Err(KrispError::StalePerfDbEntry {
+                kernel: kernel.name.clone(),
+                profiled: cus,
+                total_cus,
+            }),
+        }
     }
 
     /// Number of profiled kernels.
@@ -218,6 +247,23 @@ mod tests {
         a.merge(b);
         assert_eq!(a.lookup(&kernel("k", 1)), Some(20));
         assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn validated_lookup_flags_stale_entries() {
+        let mut db = RequiredCusTable::new();
+        db.insert(&kernel("ok", 1), 30);
+        db.insert(&kernel("stale", 1), 128); // profiled on bigger hardware
+        assert_eq!(db.lookup_validated(&kernel("ok", 1), 60), Ok(Some(30)));
+        assert_eq!(db.lookup_validated(&kernel("missing", 1), 60), Ok(None));
+        assert_eq!(
+            db.lookup_validated(&kernel("stale", 1), 60),
+            Err(KrispError::StalePerfDbEntry {
+                kernel: "stale".to_string(),
+                profiled: 128,
+                total_cus: 60,
+            })
+        );
     }
 
     #[test]

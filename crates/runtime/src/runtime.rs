@@ -6,11 +6,12 @@ use std::fmt;
 
 use krisp_obs::{EventKind, Obs};
 use krisp_sim::{
-    CuKernelCounters, CuMask, DispatchCosts, EnforcementMode, FullMaskAllocator, GpuTopology,
-    KernelDesc, Machine, MachineConfig, MachineError, MaskAllocator, PowerModel, QueueId, SignalId,
-    SimDuration, SimEvent, SimTime,
+    AqlPacket, CuKernelCounters, CuMask, DispatchCosts, EnforcementMode, FaultPlan,
+    FullMaskAllocator, GpuTopology, KernelDesc, Machine, MachineConfig, MachineError,
+    MaskAllocator, PowerModel, QueueId, SignalId, SimDuration, SimEvent, SimTime,
 };
 
+use crate::error::KrispError;
 use crate::perfdb::RequiredCusTable;
 
 /// Identifier of a runtime stream (maps 1:1 onto an HSA queue).
@@ -62,6 +63,48 @@ impl EmulationCosts {
     }
 }
 
+/// The kernel watchdog: detects kernels running far past their expected
+/// duration (stragglers, hung dispatches), aborts them, and retries with
+/// bounded backoff before abandoning the launch.
+///
+/// The expected duration is the kernel's isolated latency on the mask it
+/// was granted ([`KernelDesc::isolated_latency`]); co-located kernels run
+/// slower than isolated, so `multiplier` must absorb legitimate sharing
+/// slowdown as well as jitter — keep it generous.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WatchdogConfig {
+    /// A kernel is declared hung once it has run `multiplier ×` its
+    /// expected isolated latency.
+    pub multiplier: f64,
+    /// Deadline floor, so short kernels are not aborted on scheduling
+    /// noise.
+    pub min_timeout: SimDuration,
+    /// Retries after the first abort before the kernel is abandoned.
+    /// Also bounds CU-mask apply retries on the emulation path.
+    pub max_retries: u32,
+    /// Base backoff before a retry; attempt `n` waits `n × backoff`.
+    pub backoff: SimDuration,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> WatchdogConfig {
+        WatchdogConfig {
+            multiplier: 8.0,
+            min_timeout: SimDuration::from_micros(50),
+            max_retries: 3,
+            backoff: SimDuration::from_micros(20),
+        }
+    }
+}
+
+impl WatchdogConfig {
+    /// The abort deadline for a kernel with the given expected duration.
+    pub fn deadline(&self, expected: SimDuration) -> SimDuration {
+        let scaled = (expected.as_nanos() as f64 * self.multiplier).round() as u64;
+        SimDuration::from_nanos(scaled).max(self.min_timeout)
+    }
+}
+
 /// How the runtime realizes spatial partitions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum PartitionMode {
@@ -107,6 +150,14 @@ pub struct RuntimeConfig {
     /// Observability handles (event bus + metrics), shared with the
     /// machine. Disabled by default.
     pub obs: Obs,
+    /// Deterministic fault schedule passed to the machine. Empty by
+    /// default (and an empty plan is zero-cost).
+    pub faults: FaultPlan,
+    /// Kernel watchdog; `None` (the default) disables timeout detection
+    /// entirely. Mask-apply faults are always retried (with
+    /// [`WatchdogConfig::default`]'s budget when no watchdog is set),
+    /// since the alternative was a panic.
+    pub watchdog: Option<WatchdogConfig>,
 }
 
 impl Default for RuntimeConfig {
@@ -122,6 +173,8 @@ impl Default for RuntimeConfig {
             jitter_sigma: 0.0,
             sharing_penalty: krisp_sim::contention::DEFAULT_SHARING_PENALTY,
             obs: Obs::disabled(),
+            faults: FaultPlan::new(),
+            watchdog: None,
         }
     }
 }
@@ -134,6 +187,8 @@ impl fmt::Debug for RuntimeConfig {
             .field("perfdb_len", &self.perfdb.len())
             .field("seed", &self.seed)
             .field("jitter_sigma", &self.jitter_sigma)
+            .field("faults", &self.faults.events().len())
+            .field("watchdog", &self.watchdog)
             .finish_non_exhaustive()
     }
 }
@@ -168,17 +223,71 @@ pub enum RtEvent {
         /// Fire instant.
         at: SimTime,
     },
+    /// CUs permanently failed (injected device fault). Clients should
+    /// re-plan placement; the machine has already shrunk in-flight masks
+    /// and poisoned the resource-monitor counters.
+    CusFailed {
+        /// The CUs that just died.
+        mask: CuMask,
+        /// Injection instant.
+        at: SimTime,
+    },
+    /// A kernel was given up on: the watchdog aborted it and every retry
+    /// also timed out. The stream continues with its next packet.
+    KernelFailed {
+        /// Stream it was launched on.
+        stream: StreamId,
+        /// Client's correlation tag.
+        tag: u64,
+        /// Abandonment instant.
+        at: SimTime,
+        /// Why it was abandoned.
+        error: KrispError,
+    },
 }
 
 /// Tokens/tags with this bit set are reserved for the runtime's internal
 /// emulation machinery.
 const INTERNAL_BIT: u64 = 1 << 63;
 
+/// Internal tokens carry their subsystem in bits 61–62, so a timer whose
+/// state was already cleaned up (e.g. a watchdog deadline firing after
+/// its kernel completed) is recognizably stale instead of being
+/// misrouted to another subsystem.
+const KIND_SHIFT: u32 = 61;
+const KIND_BITS: u64 = 0b11 << KIND_SHIFT;
+/// Emulation machinery: barrier tags and reconfiguration timers.
+const KIND_EMU: u64 = 0b00 << KIND_SHIFT;
+/// Watchdog deadline timers.
+const KIND_WATCHDOG: u64 = 0b01 << KIND_SHIFT;
+/// Retry-backoff queue-release timers.
+const KIND_RELEASE: u64 = 0b10 << KIND_SHIFT;
+/// CU-mask apply retry timers.
+const KIND_MASK_RETRY: u64 = 0b11 << KIND_SHIFT;
+
 #[derive(Debug, Clone, Copy)]
 struct EmuPending {
     queue: QueueId,
     required_cus: u16,
     signal: SignalId,
+}
+
+/// An armed watchdog deadline for one in-flight kernel.
+#[derive(Debug, Clone, Copy)]
+struct WdArm {
+    queue: QueueId,
+    tag: u64,
+    started: SimTime,
+    expected: SimDuration,
+}
+
+/// A pending CU-mask apply retry (the IOCTL was rejected by an injected
+/// fault and is being re-attempted after backoff).
+#[derive(Debug, Clone, Copy)]
+struct MaskRetry {
+    pending: EmuPending,
+    mask: CuMask,
+    attempt: u32,
 }
 
 /// The GPU runtime: owns the simulated machine and implements the
@@ -201,6 +310,25 @@ pub struct Runtime {
     emulated_launches: u64,
     buffered: VecDeque<RtEvent>,
     obs: Obs,
+    watchdog: Option<WatchdogConfig>,
+    /// Watchdog-timer token → the kernel it guards.
+    wd_armed: HashMap<u64, WdArm>,
+    /// (queue, tag) → armed watchdog token, to disarm on completion.
+    wd_by_kernel: HashMap<(QueueId, u64), u64>,
+    /// Timeouts already charged to a kernel (survives across retries).
+    wd_attempts: HashMap<(QueueId, u64), u32>,
+    /// Backoff-timer token → queue to release for a retry.
+    wd_release: HashMap<u64, QueueId>,
+    /// Launch-time kernel descriptors (kept only while a watchdog is
+    /// configured) for expected-duration estimates.
+    launched: HashMap<(QueueId, u64), KernelDesc>,
+    /// Backoff-timer token → pending mask-apply retry.
+    mask_retry: HashMap<u64, MaskRetry>,
+    /// Streams permanently downgraded from kernel-scoped emulation to
+    /// stream-scoped masking after persistent mask-apply faults.
+    stream_fallback: HashSet<QueueId>,
+    /// Degradations recorded instead of panicking.
+    errors: Vec<KrispError>,
 }
 
 impl fmt::Debug for Runtime {
@@ -245,6 +373,7 @@ impl Runtime {
             jitter_sigma: config.jitter_sigma,
             sharing_penalty: config.sharing_penalty,
             obs: config.obs.clone(),
+            faults: config.faults,
         });
         Runtime {
             machine,
@@ -258,6 +387,15 @@ impl Runtime {
             emulated_launches: 0,
             buffered: VecDeque::new(),
             obs: config.obs,
+            watchdog: config.watchdog,
+            wd_armed: HashMap::new(),
+            wd_by_kernel: HashMap::new(),
+            wd_attempts: HashMap::new(),
+            wd_release: HashMap::new(),
+            launched: HashMap::new(),
+            mask_retry: HashMap::new(),
+            stream_fallback: HashSet::new(),
+            errors: Vec::new(),
         }
     }
 
@@ -314,6 +452,35 @@ impl Runtime {
         self.emulated_launches
     }
 
+    /// CUs that have permanently failed (injected faults).
+    pub fn failed_cus(&self) -> CuMask {
+        self.machine.failed_cus()
+    }
+
+    /// The CUs still alive.
+    pub fn healthy_mask(&self) -> CuMask {
+        self.machine.healthy_mask()
+    }
+
+    /// Degradations recorded so far (perfdb staleness, abandoned
+    /// kernels, stream-scoped fallbacks, …) in occurrence order.
+    pub fn errors(&self) -> &[KrispError] {
+        &self.errors
+    }
+
+    /// Drains the recorded degradations (for surfacing in run results).
+    pub fn take_errors(&mut self) -> Vec<KrispError> {
+        std::mem::take(&mut self.errors)
+    }
+
+    /// Streams that fell back from kernel-scoped emulation to
+    /// stream-scoped masking after persistent mask-apply faults.
+    pub fn stream_fallbacks(&self) -> Vec<StreamId> {
+        let mut v: Vec<StreamId> = self.stream_fallback.iter().map(|q| (*q).into()).collect();
+        v.sort();
+        v
+    }
+
     /// Creates a stream (HSA queue) with the full-device mask.
     pub fn create_stream(&mut self) -> StreamId {
         self.machine.create_queue().into()
@@ -350,23 +517,28 @@ impl Runtime {
     pub fn launch(&mut self, stream: StreamId, kernel: KernelDesc, tag: u64) {
         assert_eq!(tag & INTERNAL_BIT, 0, "tag bit 63 is reserved");
         let queue: QueueId = stream.into();
+        if self.watchdog.is_some() {
+            self.launched.insert((queue, tag), kernel.clone());
+        }
         match self.mode {
             PartitionMode::StreamMasking => {
                 self.machine.push_dispatch(queue, kernel, tag);
             }
             PartitionMode::KernelScopedNative => {
-                let required = self
-                    .perfdb
-                    .lookup_or_full(&kernel, self.machine.topology().total_cus());
+                let required = self.right_size(&kernel);
                 self.machine
                     .push_sized_dispatch(queue, kernel, required, tag);
             }
             PartitionMode::KernelScopedEmulated(_) => {
-                let required = self
-                    .perfdb
-                    .lookup_or_full(&kernel, self.machine.topology().total_cus());
-                let b1 = self.next_internal_token();
-                let b2 = self.next_internal_token();
+                if self.stream_fallback.contains(&queue) {
+                    // This stream's mask IOCTLs keep faulting; it runs in
+                    // degraded stream-scoped mode on its last good mask.
+                    self.machine.push_dispatch(queue, kernel, tag);
+                    return;
+                }
+                let required = self.right_size(&kernel);
+                let b1 = self.next_internal_token(KIND_EMU);
+                let b2 = self.next_internal_token(KIND_EMU);
                 let signal = self.machine.create_signal();
                 self.machine.push_barrier(queue, None, b1);
                 self.machine.push_barrier(queue, Some(signal), b2);
@@ -384,6 +556,22 @@ impl Runtime {
                 self.obs
                     .metrics
                     .inc("krisp_emulated_launches_total", &[], 1);
+            }
+        }
+    }
+
+    /// The conservative right-size for a kernel: the profiled minimum,
+    /// or the full device on a miss (the baseline behavior) or a stale
+    /// entry (recorded as a [`KrispError::StalePerfDbEntry`]).
+    fn right_size(&mut self, kernel: &KernelDesc) -> u16 {
+        let total = self.machine.topology().total_cus();
+        match self.perfdb.lookup_validated(kernel, total) {
+            Ok(Some(cus)) => cus,
+            Ok(None) => total,
+            Err(e) => {
+                self.obs.metrics.inc("krisp_perfdb_stale_total", &[], 1);
+                self.errors.push(e);
+                total
             }
         }
     }
@@ -432,6 +620,7 @@ impl Runtime {
                     at,
                     mask,
                 } => {
+                    self.arm_watchdog(queue, tag, at, &mask);
                     return Some(RtEvent::KernelStarted {
                         stream: queue.into(),
                         tag,
@@ -440,17 +629,23 @@ impl Runtime {
                     });
                 }
                 SimEvent::KernelCompleted { queue, tag, at } => {
+                    self.disarm_watchdog(queue, tag);
                     return Some(RtEvent::KernelCompleted {
                         stream: queue.into(),
                         tag,
                         at,
                     });
                 }
+                SimEvent::CusFailed { mask, at } => {
+                    return Some(RtEvent::CusFailed { mask, at });
+                }
                 SimEvent::TimerFired { token, at } => {
                     if token & INTERNAL_BIT == 0 {
                         return Some(RtEvent::TimerFired { token, at });
                     }
-                    self.finish_emulated_reconfiguration(token);
+                    if let Some(ev) = self.handle_internal_timer(token, at) {
+                        return Some(ev);
+                    }
                 }
                 SimEvent::BarrierConsumed { tag, .. } => {
                     if let Some(pending) = self.emu_on_barrier.remove(&tag) {
@@ -461,7 +656,7 @@ impl Runtime {
                             PartitionMode::KernelScopedEmulated(c) => c,
                             _ => unreachable!("emulation barrier outside emulated mode"),
                         };
-                        let token = self.next_internal_token();
+                        let token = self.next_internal_token(KIND_EMU);
                         let started = self.machine.now();
                         self.obs
                             .bus
@@ -489,15 +684,167 @@ impl Runtime {
         evs
     }
 
+    /// Routes an internal timer to its subsystem. Returns a client event
+    /// only when a kernel is abandoned.
+    fn handle_internal_timer(&mut self, token: u64, at: SimTime) -> Option<RtEvent> {
+        match token & KIND_BITS {
+            KIND_WATCHDOG => {
+                // A missing arm means the kernel completed before its
+                // deadline fired — the timer is stale.
+                let arm = self.wd_armed.remove(&token)?;
+                self.handle_watchdog_deadline(arm, at)
+            }
+            KIND_RELEASE => {
+                if let Some(queue) = self.wd_release.remove(&token) {
+                    // Backoff elapsed: let the command processor re-pop
+                    // the retried packet.
+                    self.machine.release_queue(queue);
+                }
+                None
+            }
+            KIND_MASK_RETRY => {
+                if let Some(retry) = self.mask_retry.remove(&token) {
+                    self.apply_emulated_mask(retry.pending, retry.mask, retry.attempt + 1);
+                }
+                None
+            }
+            _ => {
+                self.finish_emulated_reconfiguration(token);
+                None
+            }
+        }
+    }
+
+    /// Arms a watchdog deadline for a kernel that just started.
+    fn arm_watchdog(&mut self, queue: QueueId, tag: u64, at: SimTime, mask: &CuMask) {
+        let Some(wd) = self.watchdog else { return };
+        let Some(desc) = self.launched.get(&(queue, tag)) else {
+            return;
+        };
+        let expected = desc.isolated_latency(mask.count());
+        let token = self.next_internal_token(KIND_WATCHDOG);
+        self.wd_armed.insert(
+            token,
+            WdArm {
+                queue,
+                tag,
+                started: at,
+                expected,
+            },
+        );
+        self.wd_by_kernel.insert((queue, tag), token);
+        self.machine.add_timer(wd.deadline(expected), token);
+    }
+
+    /// Clears all watchdog state for a kernel that completed normally.
+    fn disarm_watchdog(&mut self, queue: QueueId, tag: u64) {
+        let key = (queue, tag);
+        if let Some(token) = self.wd_by_kernel.remove(&key) {
+            // The deadline timer still fires later; removing the arm
+            // marks it stale.
+            self.wd_armed.remove(&token);
+        }
+        self.wd_attempts.remove(&key);
+        self.launched.remove(&key);
+    }
+
+    /// A kernel blew its deadline: abort it, then retry after backoff or
+    /// abandon it once the retry budget is spent.
+    fn handle_watchdog_deadline(&mut self, arm: WdArm, at: SimTime) -> Option<RtEvent> {
+        let wd = self.watchdog.unwrap_or_default();
+        let key = (arm.queue, arm.tag);
+        self.wd_by_kernel.remove(&key);
+        let Some(packet) = self.machine.abort_inflight(arm.queue) else {
+            // The kernel slipped out between deadline computation and
+            // firing; nothing in flight to abort.
+            return None;
+        };
+        if packet.tag != arm.tag {
+            // A different kernel is in flight (should not happen with
+            // serial queues); put it back untouched and report the bug.
+            self.machine.push_packet_front(arm.queue, packet.into());
+            self.machine.release_queue(arm.queue);
+            self.errors.push(KrispError::InternalState {
+                detail: format!(
+                    "watchdog for tag {} aborted tag mismatch on {}",
+                    arm.tag, arm.queue
+                ),
+            });
+            return None;
+        }
+        let attempts = {
+            let a = self.wd_attempts.entry(key).or_insert(0);
+            *a += 1;
+            *a
+        };
+        let ran = at.saturating_since(arm.started);
+        self.obs
+            .bus
+            .emit(at.as_nanos(), || EventKind::KernelTimeout {
+                queue: arm.queue.0,
+                tag: arm.tag,
+                ran_ns: ran.as_nanos(),
+                expected_ns: arm.expected.as_nanos(),
+            });
+        self.obs.metrics.inc("krisp_kernel_timeouts_total", &[], 1);
+        if attempts <= wd.max_retries {
+            self.obs.bus.emit(at.as_nanos(), || EventKind::KernelRetry {
+                queue: arm.queue.0,
+                tag: arm.tag,
+                attempt: attempts,
+            });
+            self.obs.metrics.inc("krisp_kernel_retries_total", &[], 1);
+            self.machine
+                .push_packet_front(arm.queue, AqlPacket::Dispatch(packet));
+            // The queue stays held until the backoff elapses; attempt n
+            // backs off n × the base.
+            let token = self.next_internal_token(KIND_RELEASE);
+            self.wd_release.insert(token, arm.queue);
+            self.machine.add_timer(wd.backoff * attempts as u64, token);
+            return None;
+        }
+        self.obs
+            .bus
+            .emit(at.as_nanos(), || EventKind::KernelAbandoned {
+                queue: arm.queue.0,
+                tag: arm.tag,
+                attempts,
+            });
+        self.obs
+            .metrics
+            .inc("krisp_kernels_abandoned_total", &[], 1);
+        self.wd_attempts.remove(&key);
+        self.launched.remove(&key);
+        // Drop the packet and let the rest of the stream continue.
+        self.machine.release_queue(arm.queue);
+        let error = KrispError::KernelTimeout {
+            stream: arm.queue.0,
+            tag: arm.tag,
+            attempts,
+        };
+        self.errors.push(error.clone());
+        Some(RtEvent::KernelFailed {
+            stream: arm.queue.into(),
+            tag: arm.tag,
+            at,
+            error,
+        })
+    }
+
     fn finish_emulated_reconfiguration(&mut self, token: u64) {
-        let (pending, started) = self
-            .emu_on_timer
-            .remove(&token)
-            .expect("internal timer without pending reconfiguration");
-        let allocator = self
-            .emu_allocator
-            .as_mut()
-            .expect("emulated mode keeps an allocator");
+        let Some((pending, started)) = self.emu_on_timer.remove(&token) else {
+            self.errors.push(KrispError::InternalState {
+                detail: format!("internal timer {token:#x} without pending reconfiguration"),
+            });
+            return;
+        };
+        let Some(allocator) = self.emu_allocator.as_mut() else {
+            self.errors.push(KrispError::InternalState {
+                detail: "emulation step without an allocator".to_string(),
+            });
+            self.machine.complete_signal(pending.signal);
+            return;
+        };
         let topo = self.machine.topology();
         let mask = allocator.allocate(pending.required_cus, self.machine.counters(), &topo);
         self.obs
@@ -508,14 +855,57 @@ impl Runtime {
                 start_ns: started.as_nanos(),
                 granted_cus: mask.count(),
             });
-        self.machine
-            .set_queue_mask(pending.queue, mask)
-            .expect("emulation streams exist and masks are non-empty");
-        self.machine.complete_signal(pending.signal);
+        self.apply_emulated_mask(pending, mask, 1);
     }
 
-    fn next_internal_token(&mut self) -> u64 {
-        let t = INTERNAL_BIT | self.next_internal;
+    /// Applies the reconfigured mask for an emulated launch, retrying
+    /// rejected IOCTLs with bounded backoff and permanently falling back
+    /// to stream-scoped masking once the budget is exhausted.
+    fn apply_emulated_mask(&mut self, pending: EmuPending, mask: CuMask, attempt: u32) {
+        match self.machine.set_queue_mask(pending.queue, mask) {
+            Ok(()) => self.machine.complete_signal(pending.signal),
+            Err(MachineError::MaskApplyRejected(_)) => {
+                let wd = self.watchdog.unwrap_or_default();
+                if attempt <= wd.max_retries {
+                    self.obs
+                        .metrics
+                        .inc("krisp_mask_apply_retries_total", &[], 1);
+                    let token = self.next_internal_token(KIND_MASK_RETRY);
+                    self.mask_retry.insert(
+                        token,
+                        MaskRetry {
+                            pending,
+                            mask,
+                            attempt,
+                        },
+                    );
+                    self.machine.add_timer(wd.backoff * attempt as u64, token);
+                } else {
+                    let now = self.machine.now().as_nanos();
+                    self.obs.bus.emit(now, || EventKind::FallbackStreamScoped {
+                        queue: pending.queue.0,
+                    });
+                    self.obs.metrics.inc("krisp_stream_fallbacks_total", &[], 1);
+                    self.stream_fallback.insert(pending.queue);
+                    self.errors.push(KrispError::MaskApply {
+                        stream: pending.queue.0,
+                        attempts: attempt,
+                    });
+                    // Run the pending kernel on the stream's last good
+                    // mask instead of deadlocking it.
+                    self.machine.complete_signal(pending.signal);
+                }
+            }
+            Err(e) => {
+                self.errors.push(e.into());
+                self.machine.complete_signal(pending.signal);
+            }
+        }
+    }
+
+    fn next_internal_token(&mut self, kind: u64) -> u64 {
+        debug_assert_eq!(kind & !KIND_BITS, 0, "kind outside its field");
+        let t = INTERNAL_BIT | kind | self.next_internal;
         self.next_internal += 1;
         t
     }
@@ -694,6 +1084,196 @@ mod tests {
         let mut rt = Runtime::new(RuntimeConfig::default());
         let s = rt.create_stream();
         rt.launch(s, kernel(1.0, 1), 1 << 63);
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bit_identical() {
+        let run = |faults: FaultPlan| {
+            let mut rt = Runtime::new(RuntimeConfig {
+                jitter_sigma: 0.05,
+                faults,
+                ..RuntimeConfig::default()
+            });
+            let s = rt.create_stream();
+            for i in 0..5 {
+                rt.launch(s, kernel(2.0e6, 30), i);
+            }
+            let evs = rt.run_to_idle();
+            (rt.now(), rt.energy_joules().to_bits(), evs)
+        };
+        assert_eq!(run(FaultPlan::new()), run(FaultPlan::default()));
+    }
+
+    #[test]
+    fn cu_failures_surface_as_client_events() {
+        let topo = GpuTopology::MI50;
+        let mut rt = Runtime::new(RuntimeConfig {
+            faults: FaultPlan::new()
+                .fail_cus(SimTime::from_nanos(50_000), CuMask::first_n(15, &topo)),
+            ..RuntimeConfig::default()
+        });
+        let s = rt.create_stream();
+        rt.launch(s, kernel(6.0e6, 60), 0);
+        let evs = rt.run_to_idle();
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e, RtEvent::CusFailed { mask, .. } if mask.count() == 15)));
+        assert_eq!(rt.failed_cus().count(), 15);
+        assert_eq!(rt.healthy_mask().count(), 45);
+        // The kernel still completes, just slower on 45 CUs.
+        assert_eq!(completions(&evs).len(), 1);
+    }
+
+    #[test]
+    fn watchdog_retries_straggler_then_succeeds() {
+        // A straggler window elongates the first dispatch 100x; the
+        // watchdog aborts it, backs off, and the retry (outside the
+        // window) runs clean.
+        let mut rt = Runtime::new(RuntimeConfig {
+            faults: FaultPlan::new().straggle_all(
+                SimTime::ZERO,
+                100.0,
+                SimDuration::from_micros(20),
+            ),
+            watchdog: Some(WatchdogConfig {
+                multiplier: 2.0,
+                min_timeout: SimDuration::from_micros(10),
+                max_retries: 3,
+                backoff: SimDuration::from_micros(20),
+            }),
+            ..RuntimeConfig::default()
+        });
+        let s = rt.create_stream();
+        // 1e6 work on 60 CUs ≈ 16.7us expected; straggled = 1.67ms.
+        rt.launch(s, kernel(1.0e6, 60), 7);
+        let evs = rt.run_to_idle();
+        let starts = evs
+            .iter()
+            .filter(|e| matches!(e, RtEvent::KernelStarted { .. }))
+            .count();
+        assert!(starts >= 2, "expected a retry start, got {evs:?}");
+        assert_eq!(completions(&evs).len(), 1);
+        assert!(!evs
+            .iter()
+            .any(|e| matches!(e, RtEvent::KernelFailed { .. })));
+        assert!(rt.errors().is_empty());
+    }
+
+    #[test]
+    fn watchdog_abandons_permanent_straggler() {
+        // The straggle window outlives every retry: the kernel is
+        // eventually abandoned and the stream continues.
+        let mut rt = Runtime::new(RuntimeConfig {
+            faults: FaultPlan::new().straggle_all(
+                SimTime::ZERO,
+                1000.0,
+                SimDuration::from_millis(100),
+            ),
+            watchdog: Some(WatchdogConfig {
+                multiplier: 2.0,
+                min_timeout: SimDuration::from_micros(5),
+                max_retries: 2,
+                backoff: SimDuration::from_micros(5),
+            }),
+            ..RuntimeConfig::default()
+        });
+        let s = rt.create_stream();
+        rt.launch(s, kernel(1.0e6, 60), 1);
+        let evs = rt.run_to_idle();
+        let failed: Vec<_> = evs
+            .iter()
+            .filter_map(|e| match e {
+                RtEvent::KernelFailed { tag, error, .. } => Some((*tag, error.clone())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(failed.len(), 1);
+        assert_eq!(failed[0].0, 1);
+        assert!(matches!(
+            failed[0].1,
+            KrispError::KernelTimeout { attempts: 3, .. }
+        ));
+        assert!(completions(&evs).is_empty());
+        assert_eq!(rt.errors().len(), 1);
+    }
+
+    #[test]
+    fn mask_apply_faults_retry_then_fall_back_to_stream_scoped() {
+        // Reject mask IOCTLs on the stream for a long window: the first
+        // emulated launch exhausts its retries, the stream downgrades to
+        // stream-scoped masking, and both kernels still complete.
+        let mut rt = Runtime::new(RuntimeConfig {
+            mode: PartitionMode::KernelScopedEmulated(EmulationCosts::default()),
+            faults: FaultPlan::new().reject_mask_apply(
+                SimTime::ZERO,
+                QueueId(0),
+                SimDuration::from_millis(500),
+            ),
+            ..RuntimeConfig::default()
+        });
+        let s = rt.create_stream();
+        rt.launch(s, kernel(1.0e6, 60), 0);
+        let evs = rt.run_to_idle();
+        assert_eq!(completions(&evs).len(), 1);
+        assert_eq!(rt.stream_fallbacks(), vec![s]);
+        assert!(rt
+            .errors()
+            .iter()
+            .any(|e| matches!(e, KrispError::MaskApply { stream: 0, .. })));
+        assert_eq!(rt.emulated_launches(), 1);
+        // The degraded stream now skips the emulation machinery entirely:
+        // later launches are plain stream-scoped dispatches.
+        rt.launch(s, kernel(1.0e6, 60), 1);
+        let evs = rt.run_to_idle();
+        assert_eq!(completions(&evs).len(), 1);
+        assert_eq!(rt.emulated_launches(), 1);
+    }
+
+    #[test]
+    fn mask_apply_fault_clears_within_retry_budget() {
+        // A short rejection window: the retry succeeds and kernel-scoped
+        // emulation keeps working (no fallback, no errors).
+        let mut rt = Runtime::new(RuntimeConfig {
+            mode: PartitionMode::KernelScopedEmulated(EmulationCosts::default()),
+            faults: FaultPlan::new().reject_mask_apply(
+                SimTime::ZERO,
+                QueueId(0),
+                SimDuration::from_micros(40),
+            ),
+            watchdog: Some(WatchdogConfig {
+                backoff: SimDuration::from_micros(30),
+                ..WatchdogConfig::default()
+            }),
+            ..RuntimeConfig::default()
+        });
+        let s = rt.create_stream();
+        rt.launch(s, kernel(1.0e6, 60), 0);
+        let evs = rt.run_to_idle();
+        assert_eq!(completions(&evs).len(), 1);
+        assert!(rt.stream_fallbacks().is_empty());
+        assert!(rt.errors().is_empty());
+    }
+
+    #[test]
+    fn stale_perfdb_entry_degrades_to_full_device() {
+        let mut config = RuntimeConfig {
+            mode: PartitionMode::KernelScopedNative,
+            ..RuntimeConfig::default()
+        };
+        let k = kernel(1.0e6, 60);
+        config.perfdb.insert(&k, 999); // profiled on other hardware
+        let mut rt = Runtime::new(config);
+        let s = rt.create_stream();
+        rt.launch(s, k, 0);
+        let evs = rt.run_to_idle();
+        assert_eq!(completions(&evs).len(), 1);
+        let errors = rt.take_errors();
+        assert_eq!(errors.len(), 1);
+        assert!(matches!(
+            errors[0],
+            KrispError::StalePerfDbEntry { profiled: 999, .. }
+        ));
+        assert!(rt.errors().is_empty());
     }
 
     #[test]

@@ -8,6 +8,19 @@
 //! with the globally earliest pending event always steps first, so
 //! routing decisions made at an arrival instant observe every GPU's true
 //! state at that instant.
+//!
+//! ## Health-aware serving
+//!
+//! Every GPU carries a [`GpuHealth`] state. Watchdog-abandoned kernels
+//! and CU failures move a GPU from `Healthy` to `Degraded`; once its
+//! failure count reaches the [`BreakerConfig`] threshold the circuit
+//! breaker trips, the GPU stops receiving new requests (`Draining`),
+//! finishes what is in flight, `Restarting` re-warms its stream masks,
+//! and the breaker resets. A scripted [`CrashScript`] models a worker
+//! process dying outright: in-flight requests are lost, queued requests
+//! are retried on surviving GPUs, and the GPU re-warms after its
+//! downtime. Per-request deadlines get one retry on another GPU before
+//! the request is dropped.
 
 use std::collections::HashMap;
 
@@ -16,9 +29,12 @@ use rand::{Rng, SeedableRng};
 
 use krisp::{KrispAllocator, Policy};
 use krisp_models::{generate_trace, ModelKind, TraceConfig};
-use krisp_runtime::{PartitionMode, RequiredCusTable, RtEvent, Runtime, RuntimeConfig, StreamId};
+use krisp_obs::{EventBus, EventKind, Obs};
+use krisp_runtime::{
+    KrispError, PartitionMode, RequiredCusTable, RtEvent, Runtime, RuntimeConfig, WatchdogConfig,
+};
 use krisp_sim::stats::percentile;
-use krisp_sim::{GpuTopology, KernelDesc, SimDuration, SimTime};
+use krisp_sim::{CuMask, FaultPlan, GpuTopology, KernelDesc, SimDuration, SimTime};
 
 /// How the front-end picks a GPU for an arriving request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,8 +42,64 @@ pub enum Routing {
     /// Cycle through GPUs regardless of load.
     RoundRobin,
     /// Send to the GPU with the fewest outstanding requests for the
-    /// request's model (queued + in flight).
+    /// request's model (queued + in flight). Ties resolve to the lowest
+    /// GPU index, so same-seed runs route identically.
     LeastOutstanding,
+}
+
+/// Per-GPU serving health, from the router's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GpuHealth {
+    /// Serving normally.
+    Healthy,
+    /// Has seen failures (abandoned kernels, dead CUs) but still serves.
+    Degraded,
+    /// Breaker tripped: no new requests, in-flight work finishes.
+    Draining,
+    /// Down (restart or crash recovery): excluded from routing until its
+    /// stream masks are re-warmed.
+    Restarting,
+}
+
+impl GpuHealth {
+    /// Stable numeric code used in [`EventKind::WorkerHealth`] events.
+    pub fn code(self) -> u32 {
+        match self {
+            GpuHealth::Healthy => 0,
+            GpuHealth::Degraded => 1,
+            GpuHealth::Draining => 2,
+            GpuHealth::Restarting => 3,
+        }
+    }
+}
+
+/// Circuit breaker ejecting a repeatedly failing GPU from routing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerConfig {
+    /// Kernel/CU failures before the breaker trips.
+    pub trip_after: u32,
+    /// Downtime once drained, before masks re-warm and routing resumes.
+    pub restart: SimDuration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> BreakerConfig {
+        BreakerConfig {
+            trip_after: 3,
+            restart: SimDuration::from_millis(5),
+        }
+    }
+}
+
+/// A scripted whole-GPU crash (the worker process dies and restarts).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrashScript {
+    /// The GPU that crashes.
+    pub gpu: usize,
+    /// When it crashes.
+    pub at: SimTime,
+    /// How long it stays down before re-warming.
+    pub down_for: SimDuration,
 }
 
 /// Configuration of a multi-GPU serving experiment.
@@ -51,6 +123,19 @@ pub struct ClusterConfig {
     pub seed: u64,
     /// Simulated horizon: arrivals stop after this.
     pub horizon: SimDuration,
+    /// Per-GPU deterministic fault schedules (`(gpu index, plan)`).
+    pub faults: Vec<(usize, FaultPlan)>,
+    /// Kernel watchdog on every GPU (`None` disables it).
+    pub watchdog: Option<WatchdogConfig>,
+    /// Bounds each worker queue; pushes beyond are shed.
+    pub queue_capacity: Option<usize>,
+    /// Queueing deadline: a request that waited longer is retried once
+    /// on another GPU, then dropped.
+    pub deadline: Option<SimDuration>,
+    /// Circuit breaker (`None` disables ejection).
+    pub breaker: Option<BreakerConfig>,
+    /// Scripted whole-GPU crash.
+    pub crash: Option<CrashScript>,
 }
 
 impl ClusterConfig {
@@ -66,7 +151,41 @@ impl ClusterConfig {
             topology: GpuTopology::MI50,
             seed: 0xC1A5,
             horizon: SimDuration::from_secs(5),
+            faults: Vec::new(),
+            watchdog: None,
+            queue_capacity: None,
+            deadline: None,
+            breaker: None,
+            crash: None,
         }
+    }
+}
+
+/// Cluster-level degradation counters.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ClusterRobustness {
+    /// Requests rejected because a worker queue was full.
+    pub shed: u64,
+    /// Requests dropped after their (possibly retried) deadline expired.
+    pub timed_out: u64,
+    /// Requests moved to another GPU (deadline, drain, or crash).
+    pub retried: u64,
+    /// Requests lost to kernel abandonment or a crash.
+    pub failed_requests: u64,
+    /// Kernels abandoned by per-GPU watchdogs.
+    pub failed_kernels: u64,
+    /// Circuit-breaker trips.
+    pub breaker_trips: u32,
+    /// Scripted crashes that fired.
+    pub crashes: u32,
+    /// Runtime degradations across GPUs, stringified.
+    pub errors: Vec<String>,
+}
+
+impl ClusterRobustness {
+    /// True when the run saw no degradation at all.
+    pub fn is_clean(&self) -> bool {
+        self == &ClusterRobustness::default()
     }
 }
 
@@ -83,15 +202,30 @@ pub struct ClusterResult {
     pub per_gpu: Vec<usize>,
     /// Total energy across GPUs, joules.
     pub energy_j: f64,
+    /// Degradation counters.
+    pub robustness: ClusterRobustness,
+}
+
+/// A request waiting at (or running on) a GPU worker.
+#[derive(Debug, Clone, Copy)]
+struct QueuedReq {
+    id: u64,
+    /// Original arrival at the front-end (latency reference).
+    arrival: SimTime,
+    /// Last enqueue instant (deadline reference; reset on retry).
+    enqueued: SimTime,
+    retried: bool,
 }
 
 struct GpuWorker {
-    stream: StreamId,
+    stream: krisp_runtime::StreamId,
     trace_len: usize,
-    busy: bool,
-    /// (arrival time) of the in-flight request.
-    inflight_arrival: SimTime,
-    queue: std::collections::VecDeque<SimTime>,
+    inflight: Option<QueuedReq>,
+    /// Tag base of the in-flight run (tags are `base..base + trace_len`),
+    /// so completions of runs discarded by a crash are not misattributed.
+    inflight_base: u64,
+    launched_runs: u64,
+    queue: std::collections::VecDeque<QueuedReq>,
     outstanding: usize,
 }
 
@@ -99,19 +233,67 @@ struct Gpu {
     rt: Runtime,
     /// Worker per model (same index as `ClusterConfig::models`).
     workers: Vec<GpuWorker>,
-    stream_to_worker: HashMap<StreamId, usize>,
+    stream_to_worker: HashMap<krisp_runtime::StreamId, usize>,
+    health: GpuHealth,
+    /// Failures counted toward the breaker threshold.
+    failures: u32,
+    /// True while the breaker holds the GPU out (cleared on reset).
+    tripped: bool,
+    bus: EventBus,
 }
+
+impl Gpu {
+    fn routable(&self) -> bool {
+        matches!(self.health, GpuHealth::Healthy | GpuHealth::Degraded)
+    }
+
+    fn set_health(&mut self, health: GpuHealth, gi: usize, now: SimTime) {
+        if self.health != health {
+            self.health = health;
+            self.bus.emit(now.as_nanos(), || EventKind::WorkerHealth {
+                gpu: gi as u32,
+                state: health.code(),
+            });
+        }
+    }
+}
+
+const TOKEN_RESTART: u64 = 0x7000_0000_0000_0000;
 
 /// Runs a multi-GPU serving experiment.
 ///
 /// # Panics
 ///
-/// Panics if the configuration is degenerate (no GPUs, no models, or a
-/// non-positive rate).
+/// Panics if the configuration is degenerate (no GPUs, no models, a
+/// non-positive rate, or a crash script naming a GPU that does not
+/// exist).
 pub fn run_cluster(config: &ClusterConfig, perfdb: &RequiredCusTable) -> ClusterResult {
+    run_cluster_observed(config, perfdb, Obs::disabled())
+}
+
+/// [`run_cluster`] with observability: request retries, sheds, health
+/// transitions and breaker trips land on `obs.bus`, one logical track
+/// per GPU.
+///
+/// # Panics
+///
+/// Same conditions as [`run_cluster`].
+pub fn run_cluster_observed(
+    config: &ClusterConfig,
+    perfdb: &RequiredCusTable,
+    obs: Obs,
+) -> ClusterResult {
     assert!(config.gpus > 0, "need at least one GPU");
     assert!(!config.models.is_empty(), "need at least one model");
     assert!(config.rps_per_model > 0.0, "need a positive arrival rate");
+    if let Some(c) = config.crash {
+        assert!(
+            c.gpu < config.gpus,
+            "crash names GPU {} of {}",
+            c.gpu,
+            config.gpus
+        );
+    }
 
     let trace_cfg = TraceConfig::with_batch(config.batch);
     let traces: Vec<Vec<KernelDesc>> = config
@@ -119,6 +301,8 @@ pub fn run_cluster(config: &ClusterConfig, perfdb: &RequiredCusTable) -> Cluster
         .iter()
         .map(|&m| generate_trace(m, &trace_cfg))
         .collect();
+    let masks = policy_masks(config);
+    let mut rob = ClusterRobustness::default();
 
     // --- Bring up the GPUs --------------------------------------------
     let mut gpus: Vec<Gpu> = (0..config.gpus)
@@ -132,6 +316,12 @@ pub fn run_cluster(config: &ClusterConfig, perfdb: &RequiredCusTable) -> Cluster
                 .policy
                 .overlap_limit(&config.topology)
                 .unwrap_or(config.topology.total_cus());
+            let faults = config
+                .faults
+                .iter()
+                .find(|(g, _)| *g == gi)
+                .map(|(_, p)| p.clone())
+                .unwrap_or_default();
             let mut rt = Runtime::new(RuntimeConfig {
                 topology: config.topology,
                 mode,
@@ -139,6 +329,8 @@ pub fn run_cluster(config: &ClusterConfig, perfdb: &RequiredCusTable) -> Cluster
                 perfdb: perfdb.clone(),
                 seed: config.seed ^ (gi as u64) << 32,
                 jitter_sigma: 0.03,
+                faults,
+                watchdog: config.watchdog,
                 ..RuntimeConfig::default()
             });
             let workers: Vec<GpuWorker> = traces
@@ -146,31 +338,15 @@ pub fn run_cluster(config: &ClusterConfig, perfdb: &RequiredCusTable) -> Cluster
                 .map(|t| GpuWorker {
                     stream: rt.create_stream(),
                     trace_len: t.len(),
-                    busy: false,
-                    inflight_arrival: SimTime::ZERO,
+                    inflight: None,
+                    inflight_base: 0,
+                    launched_runs: 0,
                     queue: Default::default(),
                     outstanding: 0,
                 })
                 .collect();
-            if let Some(masks) = match config.policy {
-                Policy::StaticEqual => {
-                    Some(krisp::static_equal_masks(workers.len(), &config.topology))
-                }
-                Policy::ModelRightSize => {
-                    let sizes: Vec<u16> = config
-                        .models
-                        .iter()
-                        .map(|&m| {
-                            crate::experiment::model_right_size(m, config.batch, &config.topology)
-                        })
-                        .collect();
-                    Some(krisp::prior_work_partitions(&sizes, &config.topology))
-                }
-                _ => None,
-            } {
-                for (w, mask) in workers.iter().zip(masks) {
-                    rt.set_stream_mask(w.stream, mask).expect("fresh streams");
-                }
+            if let Some(masks) = &masks {
+                apply_masks(&mut rt, &workers, masks, &mut rob.errors);
             }
             let stream_to_worker = workers
                 .iter()
@@ -181,6 +357,10 @@ pub fn run_cluster(config: &ClusterConfig, perfdb: &RequiredCusTable) -> Cluster
                 rt,
                 workers,
                 stream_to_worker,
+                health: GpuHealth::Healthy,
+                failures: 0,
+                tripped: false,
+                bus: obs.bus.for_worker(gi as u32),
             }
         })
         .collect();
@@ -200,90 +380,141 @@ pub fn run_cluster(config: &ClusterConfig, perfdb: &RequiredCusTable) -> Cluster
         }
     }
     arrivals.sort();
-    arrivals.reverse(); // pop from the back in time order
+    // Request ids in arrival order, then pop from the back in time order.
+    let mut arrivals: Vec<(SimTime, usize, u64)> = arrivals
+        .into_iter()
+        .enumerate()
+        .map(|(id, (t, mi))| (t, mi, id as u64))
+        .collect();
+    arrivals.reverse();
 
     // --- Conservative multi-machine event loop -------------------------
     let horizon_end = SimTime::ZERO + config.horizon;
     let mut rr_next = 0usize;
     let mut latencies_ms: Vec<f64> = Vec::new();
     let mut per_gpu = vec![0usize; config.gpus];
+    let mut pending_crash = config.crash;
     loop {
         let next_gpu = (0..gpus.len())
             .filter_map(|i| gpus[i].rt.next_event_at().map(|t| (t, i)))
             .min();
         let next_arrival = arrivals.last().copied();
+        let next_crash = pending_crash.map(|c| c.at);
+        // The crash is applied before any same-instant arrival or GPU
+        // event, so routing at that instant already avoids the dead GPU.
+        if let Some(tc) = next_crash {
+            let others = [next_gpu.map(|(t, _)| t), next_arrival.map(|(t, ..)| t)];
+            if others.iter().flatten().all(|&t| tc <= t) {
+                let crash = pending_crash.take().expect("checked above");
+                apply_crash(&mut gpus, &crash, config, &mut rob);
+                continue;
+            }
+        }
         let take_arrival = match (next_gpu, next_arrival) {
             (None, None) => break,
             (None, Some(_)) => true,
             (Some(_), None) => false,
-            (Some((tg, _)), Some((ta, _))) => ta <= tg,
+            (Some((tg, _)), Some((ta, ..))) => ta <= tg,
         };
         if take_arrival {
-            let (ta, mi) = next_arrival.expect("checked above");
-            {
-                arrivals.pop();
-                // Route: all GPUs are quiesced up to ta, so worker states
-                // are current.
-                let gi = match config.routing {
-                    Routing::RoundRobin => {
+            let (ta, mi, id) = next_arrival.expect("checked above");
+            arrivals.pop();
+            // Route: all GPUs are quiesced up to ta, so worker states
+            // are current.
+            let gi = match config.routing {
+                Routing::RoundRobin => {
+                    let mut pick = None;
+                    for _ in 0..config.gpus {
                         rr_next = (rr_next + 1) % config.gpus;
-                        rr_next
-                    }
-                    Routing::LeastOutstanding => {
-                        // Rotate the tie-break so idle GPUs (all zero
-                        // outstanding) share the load instead of GPU 0
-                        // absorbing every quiet-period request.
-                        rr_next = (rr_next + 1) % config.gpus;
-                        (0..config.gpus)
-                            .map(|k| (rr_next + k) % config.gpus)
-                            .min_by_key(|&g| gpus[g].workers[mi].outstanding)
-                            .expect("at least one GPU")
-                    }
-                };
-                let gpu = &mut gpus[gi];
-                gpu.workers[mi].outstanding += 1;
-                gpu.workers[mi].queue.push_back(ta);
-                if !gpu.workers[mi].busy {
-                    // Defer the actual launch into the GPU's own timeline.
-                    let delay = ta.saturating_since(gpu.rt.now());
-                    gpu.rt.add_timer(delay, mi as u64);
-                }
-            }
-        } else {
-            let (_, gi) = next_gpu.expect("checked above");
-            {
-                let models = &traces;
-                let gpu = &mut gpus[gi];
-                match gpu.rt.step() {
-                    Some(RtEvent::TimerFired { token, at }) => {
-                        let mi = token as usize;
-                        start_if_possible(gpu, mi, &models[mi], at);
-                    }
-                    Some(RtEvent::KernelCompleted { stream, tag, at }) => {
-                        let mi = gpu.stream_to_worker[&stream];
-                        if tag + 1 == gpu.workers[mi].trace_len as u64 {
-                            let w = &mut gpu.workers[mi];
-                            // Only completions inside the horizon count:
-                            // the post-horizon backlog drain would inflate
-                            // throughput beyond capacity.
-                            if at <= horizon_end {
-                                latencies_ms
-                                    .push(at.saturating_since(w.inflight_arrival).as_millis_f64());
-                                per_gpu[gi] += 1;
-                            }
-                            w.busy = false;
-                            w.outstanding -= 1;
-                            if at <= horizon_end {
-                                start_if_possible(gpu, mi, &models[mi], at);
-                            }
+                        if gpus[rr_next].routable() {
+                            pick = Some(rr_next);
+                            break;
                         }
                     }
-                    _ => {}
+                    pick
                 }
+                Routing::LeastOutstanding => route_least_outstanding(&gpus, mi, None),
+            }
+            // With every GPU down, fall back to the least-loaded one:
+            // the request waits out the restart instead of vanishing.
+            .unwrap_or_else(|| {
+                (0..config.gpus)
+                    .min_by_key(|&g| gpus[g].workers[mi].outstanding)
+                    .expect("at least one GPU")
+            });
+            let req = QueuedReq {
+                id,
+                arrival: ta,
+                enqueued: ta,
+                retried: false,
+            };
+            enqueue(&mut gpus[gi], mi, req, ta, config, &mut rob);
+        } else {
+            let (_, gi) = next_gpu.expect("checked above");
+            match gpus[gi].rt.step() {
+                Some(RtEvent::TimerFired { token, at }) if token == TOKEN_RESTART => {
+                    finish_restart(&mut gpus, gi, at, config, &masks, &traces, &mut rob);
+                }
+                Some(RtEvent::TimerFired { token, at }) => {
+                    let mi = token as usize;
+                    try_start(&mut gpus, gi, mi, at, config, &traces, &mut rob);
+                }
+                Some(RtEvent::KernelCompleted { stream, tag, at }) => {
+                    let mi = gpus[gi].stream_to_worker[&stream];
+                    let w = &mut gpus[gi].workers[mi];
+                    let done = w
+                        .inflight
+                        .filter(|_| tag + 1 == w.inflight_base + w.trace_len as u64);
+                    if let Some(req) = done {
+                        w.inflight = None;
+                        w.outstanding -= 1;
+                        // Only completions inside the horizon count: the
+                        // post-horizon backlog drain would inflate
+                        // throughput beyond capacity.
+                        if at <= horizon_end {
+                            latencies_ms.push(at.saturating_since(req.arrival).as_millis_f64());
+                            per_gpu[gi] += 1;
+                            try_start(&mut gpus, gi, mi, at, config, &traces, &mut rob);
+                        }
+                        maybe_begin_restart(&mut gpus[gi], gi, at, config);
+                    }
+                }
+                Some(RtEvent::KernelFailed {
+                    stream, tag, at, ..
+                }) => {
+                    rob.failed_kernels += 1;
+                    let mi = gpus[gi].stream_to_worker[&stream];
+                    let w = &mut gpus[gi].workers[mi];
+                    let fatal = w
+                        .inflight
+                        .filter(|_| tag + 1 == w.inflight_base + w.trace_len as u64);
+                    if fatal.is_some() {
+                        // The request's final kernel died: the request is
+                        // lost, the worker moves on.
+                        w.inflight = None;
+                        w.outstanding -= 1;
+                        rob.failed_requests += 1;
+                    }
+                    note_failure(&mut gpus, gi, at, config, &mut rob);
+                    if fatal.is_some() {
+                        if gpus[gi].routable() && at <= horizon_end {
+                            try_start(&mut gpus, gi, mi, at, config, &traces, &mut rob);
+                        }
+                        maybe_begin_restart(&mut gpus[gi], gi, at, config);
+                    }
+                }
+                Some(RtEvent::CusFailed { at, .. }) => {
+                    note_failure(&mut gpus, gi, at, config, &mut rob);
+                }
+                _ => {}
             }
         }
     }
 
+    for gpu in &mut gpus {
+        rob.errors
+            .extend(gpu.rt.take_errors().iter().map(ToString::to_string));
+    }
     let completed = latencies_ms.len();
     ClusterResult {
         completed,
@@ -291,21 +522,271 @@ pub fn run_cluster(config: &ClusterConfig, perfdb: &RequiredCusTable) -> Cluster
         p95_ms: percentile(&latencies_ms, 95.0).unwrap_or(f64::NAN),
         per_gpu,
         energy_j: gpus.iter().map(|g| g.rt.energy_joules()).sum(),
+        robustness: rob,
     }
 }
 
-fn start_if_possible(gpu: &mut Gpu, mi: usize, trace: &[KernelDesc], _now: SimTime) {
-    if gpu.workers[mi].busy {
+/// The stream masks a policy pins at startup (`None` for kernel-scoped
+/// and MPS-default policies).
+fn policy_masks(config: &ClusterConfig) -> Option<Vec<CuMask>> {
+    match config.policy {
+        Policy::StaticEqual => Some(krisp::static_equal_masks(
+            config.models.len(),
+            &config.topology,
+        )),
+        Policy::ModelRightSize => {
+            let sizes: Vec<u16> = config
+                .models
+                .iter()
+                .map(|&m| crate::experiment::model_right_size(m, config.batch, &config.topology))
+                .collect();
+            Some(krisp::prior_work_partitions(&sizes, &config.topology))
+        }
+        _ => None,
+    }
+}
+
+/// Applies (or re-warms) the pinned stream masks, recording failures as
+/// typed errors instead of panicking.
+fn apply_masks(
+    rt: &mut Runtime,
+    workers: &[GpuWorker],
+    masks: &[CuMask],
+    errors: &mut Vec<String>,
+) {
+    for (w, mask) in workers.iter().zip(masks) {
+        if let Err(e) = rt.set_stream_mask(w.stream, *mask) {
+            errors.push(KrispError::from(e).to_string());
+        }
+    }
+}
+
+/// Least-outstanding routing over the routable GPUs; ties resolve to
+/// the lowest GPU index (deterministic for same-seed runs).
+fn route_least_outstanding(gpus: &[Gpu], mi: usize, exclude: Option<usize>) -> Option<usize> {
+    (0..gpus.len())
+        .filter(|&g| Some(g) != exclude && gpus[g].routable())
+        .min_by_key(|&g| gpus[g].workers[mi].outstanding)
+}
+
+/// Enqueues at a specific GPU, shedding when the bounded queue is full,
+/// and schedules the deferred start on the GPU's own timeline.
+fn enqueue(
+    gpu: &mut Gpu,
+    mi: usize,
+    req: QueuedReq,
+    now: SimTime,
+    config: &ClusterConfig,
+    rob: &mut ClusterRobustness,
+) {
+    let w = &mut gpu.workers[mi];
+    if config
+        .queue_capacity
+        .is_some_and(|cap| w.queue.len() >= cap)
+    {
+        rob.shed += 1;
+        let depth = w.queue.len() as u32;
+        gpu.bus.emit(now.as_nanos(), || EventKind::RequestShed {
+            request_id: req.id,
+            depth,
+        });
         return;
     }
-    let Some(arrival) = gpu.workers[mi].queue.pop_front() else {
+    w.outstanding += 1;
+    w.queue.push_back(req);
+    if w.inflight.is_none() && gpu.health != GpuHealth::Restarting {
+        // Defer the actual launch into the GPU's own timeline.
+        let delay = now.saturating_since(gpu.rt.now());
+        gpu.rt.add_timer(delay, mi as u64);
+    }
+}
+
+/// Starts the worker's next viable request: expired ones are retried on
+/// another GPU (once) or dropped; `Restarting` GPUs never start.
+fn try_start(
+    gpus: &mut [Gpu],
+    gi: usize,
+    mi: usize,
+    now: SimTime,
+    config: &ClusterConfig,
+    traces: &[Vec<KernelDesc>],
+    rob: &mut ClusterRobustness,
+) {
+    if gpus[gi].workers[mi].inflight.is_some() || gpus[gi].health == GpuHealth::Restarting {
+        return;
+    }
+    loop {
+        let Some(req) = gpus[gi].workers[mi].queue.pop_front() else {
+            return;
+        };
+        let waited = now.saturating_since(req.enqueued);
+        if config.deadline.is_some_and(|d| waited > d) {
+            gpus[gi].workers[mi].outstanding -= 1;
+            retry_or_drop(gpus, gi, mi, req, now, config, rob);
+            continue;
+        }
+        let w = &mut gpus[gi].workers[mi];
+        let base = w.launched_runs * w.trace_len as u64;
+        w.launched_runs += 1;
+        w.inflight_base = base;
+        w.inflight = Some(req);
+        let stream = w.stream;
+        for (i, k) in traces[mi].iter().enumerate() {
+            gpus[gi].rt.launch(stream, k.clone(), base + i as u64);
+        }
+        return;
+    }
+}
+
+/// Moves a request whose deadline (or GPU) expired to another GPU; a
+/// request only gets one move before it is dropped.
+fn retry_or_drop(
+    gpus: &mut [Gpu],
+    from: usize,
+    mi: usize,
+    mut req: QueuedReq,
+    now: SimTime,
+    config: &ClusterConfig,
+    rob: &mut ClusterRobustness,
+) {
+    let target = route_least_outstanding(gpus, mi, Some(from));
+    if req.retried || target.is_none() {
+        rob.timed_out += 1;
+        let waited = now.saturating_since(req.arrival);
+        gpus[from]
+            .bus
+            .emit(now.as_nanos(), || EventKind::RequestTimedOut {
+                request_id: req.id,
+                waited_ns: waited.as_nanos(),
+            });
+        return;
+    }
+    let to = target.expect("checked above");
+    rob.retried += 1;
+    gpus[from]
+        .bus
+        .emit(now.as_nanos(), || EventKind::RequestRetried {
+            request_id: req.id,
+            to_gpu: to as u32,
+        });
+    req.retried = true;
+    req.enqueued = now; // fresh deadline budget on the new GPU
+    enqueue(&mut gpus[to], mi, req, now, config, rob);
+}
+
+/// Counts a failure toward the breaker, degrading and eventually
+/// ejecting the GPU.
+fn note_failure(
+    gpus: &mut [Gpu],
+    gi: usize,
+    now: SimTime,
+    config: &ClusterConfig,
+    rob: &mut ClusterRobustness,
+) {
+    gpus[gi].failures += 1;
+    if gpus[gi].health == GpuHealth::Healthy {
+        gpus[gi].set_health(GpuHealth::Degraded, gi, now);
+    }
+    let Some(breaker) = config.breaker else {
         return;
     };
-    gpu.workers[mi].busy = true;
-    gpu.workers[mi].inflight_arrival = arrival;
-    let stream = gpu.workers[mi].stream;
-    for (i, k) in trace.iter().enumerate() {
-        gpu.rt.launch(stream, k.clone(), i as u64);
+    if gpus[gi].failures < breaker.trip_after || !gpus[gi].routable() {
+        return;
+    }
+    // Trip: stop routing to this GPU and move its backlog elsewhere.
+    rob.breaker_trips += 1;
+    gpus[gi].tripped = true;
+    gpus[gi]
+        .bus
+        .emit(now.as_nanos(), || EventKind::BreakerTripped {
+            gpu: gi as u32,
+        });
+    gpus[gi].set_health(GpuHealth::Draining, gi, now);
+    redistribute_backlog(gpus, gi, now, config, rob);
+    maybe_begin_restart(&mut gpus[gi], gi, now, config);
+}
+
+/// Moves every queued request off a draining or crashed GPU.
+fn redistribute_backlog(
+    gpus: &mut [Gpu],
+    gi: usize,
+    now: SimTime,
+    config: &ClusterConfig,
+    rob: &mut ClusterRobustness,
+) {
+    for mi in 0..gpus[gi].workers.len() {
+        while let Some(req) = gpus[gi].workers[mi].queue.pop_front() {
+            gpus[gi].workers[mi].outstanding -= 1;
+            retry_or_drop(gpus, gi, mi, req, now, config, rob);
+        }
+    }
+}
+
+/// A draining GPU whose last in-flight request finished goes down for
+/// the breaker's restart period.
+fn maybe_begin_restart(gpu: &mut Gpu, gi: usize, now: SimTime, config: &ClusterConfig) {
+    if gpu.health != GpuHealth::Draining || gpu.workers.iter().any(|w| w.inflight.is_some()) {
+        return;
+    }
+    let restart = config.breaker.map(|b| b.restart).unwrap_or_default();
+    gpu.set_health(GpuHealth::Restarting, gi, now);
+    let delay = now.saturating_since(gpu.rt.now()) + restart;
+    gpu.rt.add_timer(delay, TOKEN_RESTART);
+}
+
+/// The scripted crash: in-flight requests are lost, the backlog moves to
+/// surviving GPUs, and the GPU re-warms after its downtime.
+fn apply_crash(
+    gpus: &mut [Gpu],
+    crash: &CrashScript,
+    config: &ClusterConfig,
+    rob: &mut ClusterRobustness,
+) {
+    let gi = crash.gpu;
+    rob.crashes += 1;
+    gpus[gi].set_health(GpuHealth::Restarting, gi, crash.at);
+    for w in &mut gpus[gi].workers {
+        if w.inflight.take().is_some() {
+            // The kernels keep draining in the dead GPU's simulation, but
+            // the run is discarded: its completion must not be counted.
+            w.outstanding -= 1;
+            rob.failed_requests += 1;
+        }
+    }
+    redistribute_backlog(gpus, gi, crash.at, config, rob);
+    let delay = crash.at.saturating_since(gpus[gi].rt.now()) + crash.down_for;
+    gpus[gi].rt.add_timer(delay, TOKEN_RESTART);
+}
+
+/// Restart complete: re-warm the pinned stream masks, reset the breaker,
+/// and resume serving anything that queued up during the fallback.
+fn finish_restart(
+    gpus: &mut [Gpu],
+    gi: usize,
+    now: SimTime,
+    config: &ClusterConfig,
+    masks: &Option<Vec<CuMask>>,
+    traces: &[Vec<KernelDesc>],
+    rob: &mut ClusterRobustness,
+) {
+    if let Some(masks) = masks {
+        let gpu = &mut gpus[gi];
+        let mut errors = Vec::new();
+        apply_masks(&mut gpu.rt, &gpu.workers, masks, &mut errors);
+        rob.errors.append(&mut errors);
+    }
+    gpus[gi].failures = 0;
+    if gpus[gi].tripped {
+        gpus[gi].tripped = false;
+        gpus[gi]
+            .bus
+            .emit(now.as_nanos(), || EventKind::BreakerReset {
+                gpu: gi as u32,
+            });
+    }
+    gpus[gi].set_health(GpuHealth::Healthy, gi, now);
+    for mi in 0..gpus[gi].workers.len() {
+        try_start(gpus, gi, mi, now, config, traces, rob);
     }
 }
 
@@ -331,6 +812,7 @@ mod tests {
         // No queueing to speak of: p95 near the slower model's isolated
         // latency (albert, 27 ms).
         assert!(r.p95_ms < 40.0, "{r:?}");
+        assert!(r.robustness.is_clean(), "{:?}", r.robustness);
     }
 
     #[test]
@@ -360,7 +842,11 @@ mod tests {
 
     #[test]
     fn routing_balances_across_gpus() {
-        let r = quick(4, 200.0, Routing::LeastOutstanding);
+        // Sustained load: outstanding counts differ at most arrival
+        // instants, so least-outstanding spreads work evenly. (At a
+        // trickle the deterministic lowest-index tie-break concentrates
+        // on GPU 0 by design — see the tie-break test.)
+        let r = quick(4, 400.0, Routing::LeastOutstanding);
         let max = *r.per_gpu.iter().max().expect("gpus");
         let min = *r.per_gpu.iter().min().expect("gpus");
         assert!(
@@ -375,5 +861,154 @@ mod tests {
         let a = quick(2, 100.0, Routing::LeastOutstanding);
         let b = quick(2, 100.0, Routing::LeastOutstanding);
         assert_eq!(a, b);
+        assert_eq!(a.energy_j.to_bits(), b.energy_j.to_bits());
+    }
+
+    #[test]
+    fn least_outstanding_ties_resolve_to_lowest_index() {
+        // At a trickle (~1 s gaps vs an 8 ms service time), every
+        // request completes before the next arrives, so every routing
+        // decision is an all-idle tie: with the deterministic
+        // lowest-index rule, GPU 0 serves everything.
+        let models = vec![ModelKind::Squeezenet];
+        let db = oracle_perfdb(&models, &[32]);
+        let mut cfg = ClusterConfig::new(3, models, 1.0);
+        cfg.horizon = SimDuration::from_secs(8);
+        let r = run_cluster(&cfg, &db);
+        assert!(r.completed > 3, "{r:?}");
+        assert_eq!(r.per_gpu[1], 0, "{:?}", r.per_gpu);
+        assert_eq!(r.per_gpu[2], 0, "{:?}", r.per_gpu);
+    }
+
+    #[test]
+    fn breaker_ejects_failing_gpu_and_recovers() {
+        let models = vec![ModelKind::Squeezenet];
+        let db = oracle_perfdb(&models, &[32]);
+        let mut cfg = ClusterConfig::new(2, models, 60.0);
+        cfg.horizon = SimDuration::from_secs(2);
+        // GPU 0 turns into a brick for half a second: kernels straggle
+        // 1000x, the watchdog abandons them, the breaker trips.
+        cfg.faults = vec![(
+            0,
+            FaultPlan::new().straggle_all(
+                SimTime::ZERO + SimDuration::from_millis(200),
+                1000.0,
+                SimDuration::from_millis(500),
+            ),
+        )];
+        cfg.watchdog = Some(WatchdogConfig {
+            max_retries: 1,
+            ..WatchdogConfig::default()
+        });
+        cfg.breaker = Some(BreakerConfig {
+            trip_after: 2,
+            restart: SimDuration::from_millis(600),
+        });
+        let r = run_cluster(&cfg, &db);
+        assert!(r.robustness.failed_kernels > 0, "{:?}", r.robustness);
+        assert_eq!(r.robustness.breaker_trips, 1, "{:?}", r.robustness);
+        assert!(r.completed > 50, "{r:?}");
+        // GPU 1 carried the load while GPU 0 was out.
+        assert!(r.per_gpu[1] > r.per_gpu[0], "{:?}", r.per_gpu);
+    }
+
+    #[test]
+    fn crashed_gpu_backlog_is_retried_on_survivors() {
+        let models = vec![ModelKind::Squeezenet];
+        let db = oracle_perfdb(&models, &[32]);
+        // Past cluster capacity (~250 rps), so both GPUs carry a backlog
+        // when the crash hits.
+        let mut cfg = ClusterConfig::new(2, models, 300.0);
+        cfg.horizon = SimDuration::from_secs(2);
+        cfg.crash = Some(CrashScript {
+            gpu: 1,
+            at: SimTime::ZERO + SimDuration::from_millis(500),
+            down_for: SimDuration::from_millis(500),
+        });
+        let r = run_cluster(&cfg, &db);
+        assert_eq!(r.robustness.crashes, 1);
+        assert!(r.robustness.retried > 0, "{:?}", r.robustness);
+        assert!(r.robustness.failed_requests >= 1, "{:?}", r.robustness);
+        assert!(r.completed > 100, "{r:?}");
+        // The survivor out-serves the crashed GPU over the run.
+        assert!(r.per_gpu[0] > r.per_gpu[1], "{:?}", r.per_gpu);
+    }
+
+    #[test]
+    fn worker_crash_event_sequence_is_pinned() {
+        // Golden sequence for the crash scenario on the crashed GPU's
+        // track: restart-down, then healthy again — with every retry
+        // naming the surviving GPU.
+        let models = vec![ModelKind::Squeezenet];
+        let db = oracle_perfdb(&models, &[32]);
+        let mut cfg = ClusterConfig::new(2, models, 300.0);
+        cfg.horizon = SimDuration::from_secs(2);
+        cfg.crash = Some(CrashScript {
+            gpu: 1,
+            at: SimTime::ZERO + SimDuration::from_millis(500),
+            down_for: SimDuration::from_millis(500),
+        });
+        let (obs, sink) = Obs::recording(1 << 20);
+        run_cluster_observed(&cfg, &db, obs);
+        let events = sink.lock().expect("sink").drain();
+        let gpu1: Vec<&EventKind> = events
+            .iter()
+            .filter(|e| e.worker == 1)
+            .map(|e| &e.kind)
+            .collect();
+        let health: Vec<u32> = gpu1
+            .iter()
+            .filter_map(|k| match k {
+                EventKind::WorkerHealth { state, .. } => Some(*state),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            health,
+            vec![GpuHealth::Restarting.code(), GpuHealth::Healthy.code()],
+            "health transitions {health:?}"
+        );
+        let retries: Vec<u32> = gpu1
+            .iter()
+            .filter_map(|k| match k {
+                EventKind::RequestRetried { to_gpu, .. } => Some(*to_gpu),
+                _ => None,
+            })
+            .collect();
+        assert!(!retries.is_empty());
+        assert!(retries.iter().all(|&g| g == 0), "{retries:?}");
+        // No breaker is configured: the crash recovery must not claim one.
+        assert!(!gpu1.iter().any(|k| matches!(
+            k,
+            EventKind::BreakerTripped { .. } | EventKind::BreakerReset { .. }
+        )));
+    }
+
+    #[test]
+    fn deadline_retries_then_drops_under_asymmetric_load() {
+        let models = vec![ModelKind::Squeezenet];
+        let db = oracle_perfdb(&models, &[32]);
+        // Single GPU far over capacity with a tight deadline: retries are
+        // impossible (no second GPU), so expired requests drop.
+        let mut cfg = ClusterConfig::new(1, models, 400.0);
+        cfg.horizon = SimDuration::from_secs(1);
+        cfg.deadline = Some(SimDuration::from_millis(30));
+        let r = run_cluster(&cfg, &db);
+        assert!(r.robustness.timed_out > 0, "{:?}", r.robustness);
+        assert_eq!(r.robustness.retried, 0);
+        assert!(r.completed > 0);
+    }
+
+    #[test]
+    fn bounded_queues_shed_cluster_overload() {
+        let models = vec![ModelKind::Squeezenet];
+        let db = oracle_perfdb(&models, &[32]);
+        let mut cfg = ClusterConfig::new(1, models, 400.0);
+        cfg.horizon = SimDuration::from_secs(1);
+        cfg.queue_capacity = Some(2);
+        let r = run_cluster(&cfg, &db);
+        assert!(r.robustness.shed > 0, "{:?}", r.robustness);
+        assert!(r.completed > 0);
+        assert!(r.p95_ms < 50.0, "{r:?}");
     }
 }

@@ -15,10 +15,13 @@ use krisp_models::{analytic_latency, generate_trace, paper_profile, ModelKind, T
 use krisp_obs::{EventBus, EventKind, Obs};
 use krisp_runtime::{
     EmulationCosts, PartitionMode, RequiredCusTable, RtEvent, Runtime, RuntimeConfig, StreamId,
+    WatchdogConfig,
 };
-use krisp_sim::{DispatchCosts, GpuTopology, KernelDesc, MaskAllocator, SimDuration, SimTime};
+use krisp_sim::{
+    DispatchCosts, FaultPlan, GpuTopology, KernelDesc, MaskAllocator, SimDuration, SimTime,
+};
 
-use crate::metrics::{ExperimentResult, WorkerResult};
+use crate::metrics::{ExperimentResult, RobustnessCounters, WorkerResult};
 use crate::request::{InferenceRequest, RequestQueue};
 
 /// How requests arrive at the server.
@@ -118,6 +121,16 @@ pub struct ServerConfig {
     pub warmup: Option<SimDuration>,
     /// Measurement-window length (auto-sized if `None`).
     pub duration: Option<SimDuration>,
+    /// Deterministic fault schedule (empty = no faults, zero cost).
+    pub faults: FaultPlan,
+    /// Kernel watchdog for straggler detection (`None` disables it).
+    pub watchdog: Option<WatchdogConfig>,
+    /// Bounds each worker's request queue; pushes beyond the capacity
+    /// are shed. `None` keeps the pre-robustness unbounded behavior.
+    pub queue_capacity: Option<usize>,
+    /// Per-request deadline: queued requests that waited longer are
+    /// dropped instead of served. `None` disables deadlines.
+    pub deadline: Option<SimDuration>,
 }
 
 impl ServerConfig {
@@ -142,6 +155,10 @@ impl ServerConfig {
             cu_restriction: None,
             warmup: None,
             duration: None,
+            faults: FaultPlan::new(),
+            watchdog: None,
+            queue_capacity: None,
+            deadline: None,
         }
     }
 
@@ -221,9 +238,38 @@ struct Worker {
     next_request_id: u64,
     /// Event bus tagged with this worker's index (disabled by default).
     bus: EventBus,
+    /// Queued requests dropped for exceeding the deadline.
+    timed_out: u64,
+    /// Requests whose final kernel the watchdog abandoned.
+    failed_requests: u64,
+    /// Kernels the watchdog abandoned on this worker's stream.
+    failed_kernels: u64,
 }
 
 impl Worker {
+    /// Pops the next request still worth serving, dropping queued
+    /// requests that already exceeded the deadline.
+    fn pop_runnable(
+        &mut self,
+        now: SimTime,
+        deadline: Option<SimDuration>,
+    ) -> Option<InferenceRequest> {
+        while let Some(req) = self.queue.pop() {
+            let waited = now.saturating_since(req.enqueued_at);
+            if deadline.is_some_and(|d| waited > d) {
+                self.timed_out += 1;
+                self.bus
+                    .emit(now.as_nanos(), || EventKind::RequestTimedOut {
+                        request_id: req.id,
+                        waited_ns: waited.as_nanos(),
+                    });
+                continue;
+            }
+            return Some(req);
+        }
+        None
+    }
+
     /// Starts one whole request of the configured batch size.
     fn start_inference(&mut self, rt: &mut Runtime, started: SimTime) {
         debug_assert!(!self.busy);
@@ -369,6 +415,8 @@ pub fn run_server_observed(
         jitter_sigma: config.jitter_sigma,
         sharing_penalty: config.sharing_penalty,
         obs: obs.clone(),
+        faults: config.faults.clone(),
+        watchdog: config.watchdog,
         ..RuntimeConfig::default()
     });
 
@@ -383,7 +431,9 @@ pub fn run_server_observed(
             trace: generate_trace(model, &trace_cfg),
             traces_by_batch: HashMap::new(),
             launch_overhead: trace_cfg.launch_overhead,
-            queue: RequestQueue::new(),
+            queue: config
+                .queue_capacity
+                .map_or_else(RequestQueue::new, RequestQueue::bounded),
             sample_queue: std::collections::VecDeque::new(),
             busy: false,
             inflight_starts: Vec::new(),
@@ -391,6 +441,9 @@ pub fn run_server_observed(
             records: Vec::new(),
             next_request_id: 0,
             bus: obs.bus.for_worker(i as u32),
+            timed_out: 0,
+            failed_requests: 0,
+            failed_kernels: 0,
         })
         .collect();
     let masks = match config.policy {
@@ -519,20 +572,41 @@ pub fn run_server_observed(
                             w.next_request_id += 1;
                             (w.model, config.batch, id)
                         };
-                        workers[wi].queue.push(InferenceRequest {
-                            id,
-                            model,
-                            batch,
-                            enqueued_at: at,
-                        });
-                        workers[wi]
-                            .bus
-                            .emit(at.as_nanos(), || EventKind::RequestEnqueued {
-                                request_id: id,
-                            });
-                        if !workers[wi].busy {
-                            let req = workers[wi].queue.pop().expect("just pushed");
-                            workers[wi].start_inference(&mut rt, req.enqueued_at);
+                        let accepted = workers[wi]
+                            .queue
+                            .push(InferenceRequest {
+                                id,
+                                model,
+                                batch,
+                                enqueued_at: at,
+                            })
+                            .is_ok();
+                        if accepted {
+                            workers[wi]
+                                .bus
+                                .emit(at.as_nanos(), || EventKind::RequestEnqueued {
+                                    request_id: id,
+                                });
+                            if !workers[wi].busy {
+                                if let Some(req) = workers[wi].pop_runnable(at, config.deadline) {
+                                    workers[wi].start_inference(&mut rt, req.enqueued_at);
+                                }
+                            }
+                        } else {
+                            let depth = workers[wi].queue.len() as u32;
+                            workers[wi]
+                                .bus
+                                .emit(at.as_nanos(), || EventKind::RequestShed {
+                                    request_id: id,
+                                    depth,
+                                });
+                            if obs.metrics.enabled() {
+                                obs.metrics.inc(
+                                    "krisp_requests_shed_total",
+                                    &[("worker", &wi.to_string())],
+                                    1,
+                                );
+                            }
                         }
                         if obs.metrics.enabled() {
                             obs.metrics.set_gauge(
@@ -601,7 +675,43 @@ pub fn run_server_observed(
                             }
                         }
                         Arrival::Poisson { .. } => {
-                            if let Some(req) = w.queue.pop() {
+                            if let Some(req) = w.pop_runnable(at, config.deadline) {
+                                w.start_inference(&mut rt, req.enqueued_at);
+                            }
+                        }
+                        Arrival::OpenBatched {
+                            max_batch,
+                            batch_timeout,
+                            ..
+                        } => {
+                            w.try_form_batch(&mut rt, at, max_batch, batch_timeout);
+                        }
+                    }
+                }
+            }
+            RtEvent::KernelFailed {
+                stream, tag, at, ..
+            } => {
+                // The watchdog abandoned this kernel after exhausting its
+                // retries. Later kernels of the request still drain (the
+                // queue was released), so only a *final* kernel's failure
+                // loses the request — the worker then moves on instead of
+                // waiting forever for a completion that cannot come.
+                let wi = stream_to_worker[&stream];
+                let w = &mut workers[wi];
+                w.failed_kernels += 1;
+                if w.busy && tag + 1 == w.inflight_kernels as u64 {
+                    w.failed_requests += w.inflight_starts.len() as u64;
+                    w.inflight_starts.clear();
+                    w.busy = false;
+                    match config.arrival {
+                        Arrival::ClosedLoop => {
+                            if at < end {
+                                w.start_inference(&mut rt, at);
+                            }
+                        }
+                        Arrival::Poisson { .. } => {
+                            if let Some(req) = w.pop_runnable(at, config.deadline) {
                                 w.start_inference(&mut rt, req.enqueued_at);
                             }
                         }
@@ -628,6 +738,15 @@ pub fn run_server_observed(
     }
 
     // --- Window filtering -----------------------------------------------
+    let robustness = RobustnessCounters {
+        shed: workers.iter().map(|w| w.queue.shed()).sum(),
+        timed_out: workers.iter().map(|w| w.timed_out).sum(),
+        failed_requests: workers.iter().map(|w| w.failed_requests).sum(),
+        failed_kernels: workers.iter().map(|w| w.failed_kernels).sum(),
+        failed_cus: rt.failed_cus().count(),
+        stream_fallbacks: rt.stream_fallbacks().len() as u32,
+        errors: rt.take_errors().iter().map(ToString::to_string).collect(),
+    };
     let warm_at = SimTime::ZERO + warmup;
     let results = workers
         .into_iter()
@@ -650,6 +769,7 @@ pub fn run_server_observed(
         service_cu_seconds: service_at_end - service_at_warm,
         total_cus: topo.total_cus(),
         workers: results,
+        robustness: Some(robustness),
     }
 }
 
@@ -905,5 +1025,94 @@ mod tests {
     fn empty_worker_list_rejected() {
         let cfg = ServerConfig::closed_loop(Policy::MpsDefault, vec![], 32);
         run_server(&cfg, &RequiredCusTable::new());
+    }
+
+    #[test]
+    fn fault_free_runs_report_clean_robustness() {
+        let r = quick(ServerConfig::closed_loop(
+            Policy::KrispI,
+            vec![ModelKind::Squeezenet; 2],
+            32,
+        ));
+        assert!(r.robustness.is_some());
+        assert!(r.robustness().is_clean());
+    }
+
+    #[test]
+    fn enabling_the_watchdog_without_faults_is_bit_identical() {
+        let run = |watchdog| {
+            let mut cfg =
+                ServerConfig::closed_loop(Policy::KrispI, vec![ModelKind::Squeezenet; 2], 32);
+            cfg.watchdog = watchdog;
+            quick(cfg)
+        };
+        let off = run(None);
+        let on = run(Some(WatchdogConfig::default()));
+        // The kernel timeline must be untouched: same completions at the
+        // same instants. (Energy is only compared approximately — the
+        // watchdog's stale timers split the power integration into
+        // different float-accumulation intervals.)
+        assert_eq!(off.workers, on.workers);
+        assert!((off.energy_j - on.energy_j).abs() < 1e-6 * off.energy_j);
+        assert!(on.robustness().is_clean());
+    }
+
+    #[test]
+    fn bounded_queue_sheds_under_overload() {
+        let mut cfg =
+            ServerConfig::closed_loop(Policy::MpsDefault, vec![ModelKind::Squeezenet], 32);
+        cfg.arrival = Arrival::Poisson {
+            rps_per_worker: 400.0, // ~3x the model's ~125 rps capacity
+        };
+        cfg.queue_capacity = Some(2);
+        cfg.warmup = Some(SimDuration::from_millis(40));
+        cfg.duration = Some(SimDuration::from_millis(400));
+        let db = oracle_perfdb(&cfg.models, &[32]);
+        let r = run_server(&cfg, &db);
+        let rb = r.robustness();
+        assert!(rb.shed > 0, "no shedding at 3x overload");
+        assert!(r.total_inferences() > 0, "shed everything");
+        // The backlog never exceeds the bound, so latency stays within
+        // roughly (capacity + 1) service times instead of growing with
+        // the run length.
+        assert!(
+            r.max_p95_ms().unwrap() < 50.0,
+            "p95 {}",
+            r.max_p95_ms().unwrap()
+        );
+    }
+
+    #[test]
+    fn deadline_drops_requests_that_waited_too_long() {
+        let mut cfg =
+            ServerConfig::closed_loop(Policy::MpsDefault, vec![ModelKind::Squeezenet], 32);
+        cfg.arrival = Arrival::Poisson {
+            rps_per_worker: 400.0,
+        };
+        cfg.deadline = Some(SimDuration::from_millis(20));
+        cfg.warmup = Some(SimDuration::from_millis(40));
+        cfg.duration = Some(SimDuration::from_millis(400));
+        let db = oracle_perfdb(&cfg.models, &[32]);
+        let r = run_server(&cfg, &db);
+        let rb = r.robustness();
+        assert!(rb.timed_out > 0, "no deadline drops at 3x overload");
+        assert!(rb.shed == 0, "unbounded queue must not shed");
+        assert!(r.total_inferences() > 0);
+    }
+
+    #[test]
+    fn cu_loss_mid_run_degrades_but_keeps_serving() {
+        let topo = GpuTopology::MI50;
+        let mut cfg = ServerConfig::closed_loop(Policy::KrispI, vec![ModelKind::Squeezenet; 2], 32);
+        cfg.faults = FaultPlan::new().fail_cus(
+            SimTime::ZERO + SimDuration::from_millis(100),
+            krisp_sim::CuMask::first_n(15, &topo),
+        );
+        cfg.warmup = Some(SimDuration::from_millis(40));
+        cfg.duration = Some(SimDuration::from_millis(400));
+        let db = oracle_perfdb(&cfg.models, &[32]);
+        let r = run_server(&cfg, &db);
+        assert_eq!(r.robustness().failed_cus, 15);
+        assert!(r.total_inferences() > 0, "CU loss halted the server");
     }
 }

@@ -37,10 +37,13 @@ pub mod metrics;
 pub mod request;
 
 pub use capacity::{plan_capacity, CapacityOptions, CapacityPlan};
-pub use cluster::{run_cluster, ClusterConfig, ClusterResult, Routing};
+pub use cluster::{
+    run_cluster, run_cluster_observed, BreakerConfig, ClusterConfig, ClusterResult,
+    ClusterRobustness, CrashScript, GpuHealth, Routing,
+};
 pub use experiment::{
     model_right_size, oracle_perfdb, run_server, run_server_observed, Arrival, KrispEnforcement,
     RightSizeSource, ServerConfig,
 };
-pub use metrics::{ExperimentResult, WorkerResult};
+pub use metrics::{ExperimentResult, RobustnessCounters, WorkerResult};
 pub use request::{InferenceRequest, RequestQueue};

@@ -36,6 +36,34 @@ impl WorkerResult {
     }
 }
 
+/// Degradation counters from one experiment: what the server shed,
+/// timed out, failed, or worked around instead of crashing.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RobustnessCounters {
+    /// Requests rejected because a bounded queue was full.
+    pub shed: u64,
+    /// Queued requests dropped for exceeding their deadline.
+    pub timed_out: u64,
+    /// Requests whose final kernel was abandoned by the watchdog.
+    pub failed_requests: u64,
+    /// Kernels abandoned after exhausting watchdog retries.
+    pub failed_kernels: u64,
+    /// CUs that had permanently failed by the end of the run.
+    pub failed_cus: u16,
+    /// Streams that fell back from kernel-scoped to stream-scoped
+    /// masking.
+    pub stream_fallbacks: u32,
+    /// Runtime degradations, stringified in occurrence order.
+    pub errors: Vec<String>,
+}
+
+impl RobustnessCounters {
+    /// True when the run saw no degradation at all.
+    pub fn is_clean(&self) -> bool {
+        self == &RobustnessCounters::default()
+    }
+}
+
 /// Outcome of one server experiment.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentResult {
@@ -55,6 +83,9 @@ pub struct ExperimentResult {
     pub total_cus: u16,
     /// Per-worker results.
     pub workers: Vec<WorkerResult>,
+    /// Degradation counters (`None` in results cached before fault
+    /// support existed — equivalent to a clean run).
+    pub robustness: Option<RobustnessCounters>,
 }
 
 impl ExperimentResult {
@@ -96,6 +127,12 @@ impl ExperimentResult {
         self.service_cu_seconds / (self.total_cus as f64 * self.window.as_secs_f64())
     }
 
+    /// The run's degradation counters (clean defaults when the result
+    /// predates fault support).
+    pub fn robustness(&self) -> RobustnessCounters {
+        self.robustness.clone().unwrap_or_default()
+    }
+
     /// SLO check with the paper's definition (§VI-B): every worker's p95
     /// must stay within 2× its model's isolated p95.
     ///
@@ -129,6 +166,7 @@ mod tests {
                     latencies_ms: l,
                 })
                 .collect(),
+            robustness: None,
         }
     }
 
@@ -172,5 +210,34 @@ mod tests {
     fn max_p95_takes_worst_worker() {
         let r = result(vec![vec![5.0; 100], vec![50.0; 100]]);
         assert_eq!(r.max_p95_ms(), Some(50.0));
+    }
+
+    #[test]
+    fn missing_robustness_reads_as_clean() {
+        let r = result(vec![vec![1.0]]);
+        assert!(r.robustness().is_clean());
+        // Round-trip through the serialized form: pre-fault cached JSON
+        // has no `robustness` key, which must deserialize as None.
+        let v = r.to_value();
+        let back = <ExperimentResult as Deserialize>::from_value(&v).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn robustness_counters_round_trip() {
+        let mut r = result(vec![vec![1.0]]);
+        r.robustness = Some(RobustnessCounters {
+            shed: 3,
+            timed_out: 1,
+            failed_requests: 2,
+            failed_kernels: 2,
+            failed_cus: 15,
+            stream_fallbacks: 1,
+            errors: vec!["kernel tag 9 abandoned".to_string()],
+        });
+        let v = r.to_value();
+        let back = <ExperimentResult as Deserialize>::from_value(&v).unwrap();
+        assert_eq!(back, r);
+        assert!(!back.robustness().is_clean());
     }
 }

@@ -23,6 +23,10 @@ pub struct InferenceRequest {
 /// request queues, simplified to in-process FIFOs since the simulation
 /// is single-threaded).
 ///
+/// The queue can be **bounded**: pushes beyond the capacity are rejected
+/// (load shedding) and counted, so an overloaded worker degrades by
+/// refusing work instead of growing its backlog without limit.
+///
 /// # Examples
 ///
 /// ```
@@ -30,14 +34,16 @@ pub struct InferenceRequest {
 /// use krisp_server::{InferenceRequest, RequestQueue};
 /// use krisp_sim::SimTime;
 ///
-/// let mut q = RequestQueue::new();
-/// q.push(InferenceRequest {
-///     id: 0,
+/// let mut q = RequestQueue::bounded(1);
+/// let req = |id| InferenceRequest {
+///     id,
 ///     model: ModelKind::Albert,
 ///     batch: 32,
 ///     enqueued_at: SimTime::ZERO,
-/// });
-/// assert_eq!(q.len(), 1);
+/// };
+/// assert!(q.push(req(0)).is_ok());
+/// assert!(q.push(req(1)).is_err()); // full: shed
+/// assert_eq!(q.shed(), 1);
 /// assert_eq!(q.pop().unwrap().id, 0);
 /// assert!(q.is_empty());
 /// ```
@@ -45,18 +51,48 @@ pub struct InferenceRequest {
 pub struct RequestQueue {
     queue: VecDeque<InferenceRequest>,
     max_depth: usize,
+    /// `None` = unbounded (the pre-robustness behavior).
+    capacity: Option<usize>,
+    shed: u64,
 }
 
 impl RequestQueue {
-    /// Creates an empty queue.
+    /// Creates an empty unbounded queue.
     pub fn new() -> RequestQueue {
         RequestQueue::default()
     }
 
-    /// Enqueues a request.
-    pub fn push(&mut self, request: InferenceRequest) {
+    /// Creates an empty queue that sheds pushes beyond `capacity`
+    /// waiting requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (such a queue could never serve).
+    pub fn bounded(capacity: usize) -> RequestQueue {
+        assert!(
+            capacity > 0,
+            "a queue needs capacity for at least one request"
+        );
+        RequestQueue {
+            capacity: Some(capacity),
+            ..RequestQueue::default()
+        }
+    }
+
+    /// Enqueues a request; a full bounded queue rejects it, returning it
+    /// to the caller and counting the shed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the request itself when the queue is at capacity.
+    pub fn push(&mut self, request: InferenceRequest) -> Result<(), InferenceRequest> {
+        if self.capacity.is_some_and(|cap| self.queue.len() >= cap) {
+            self.shed += 1;
+            return Err(request);
+        }
         self.queue.push_back(request);
         self.max_depth = self.max_depth.max(self.queue.len());
+        Ok(())
     }
 
     /// Dequeues the oldest request.
@@ -78,6 +114,16 @@ impl RequestQueue {
     pub fn max_depth(&self) -> usize {
         self.max_depth
     }
+
+    /// The configured capacity (`None` = unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Requests rejected because the queue was full.
+    pub fn shed(&self) -> u64 {
+        self.shed
+    }
 }
 
 #[cfg(test)]
@@ -96,8 +142,8 @@ mod tests {
     #[test]
     fn fifo_order() {
         let mut q = RequestQueue::new();
-        q.push(req(1));
-        q.push(req(2));
+        q.push(req(1)).unwrap();
+        q.push(req(2)).unwrap();
         assert_eq!(q.pop().unwrap().id, 1);
         assert_eq!(q.pop().unwrap().id, 2);
         assert_eq!(q.pop(), None);
@@ -106,11 +152,43 @@ mod tests {
     #[test]
     fn high_water_mark() {
         let mut q = RequestQueue::new();
-        q.push(req(1));
-        q.push(req(2));
+        q.push(req(1)).unwrap();
+        q.push(req(2)).unwrap();
         q.pop();
-        q.push(req(3));
+        q.push(req(3)).unwrap();
         assert_eq!(q.max_depth(), 2);
         assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn unbounded_queue_never_sheds() {
+        let mut q = RequestQueue::new();
+        for i in 0..10_000 {
+            q.push(req(i)).unwrap();
+        }
+        assert_eq!(q.shed(), 0);
+        assert_eq!(q.capacity(), None);
+    }
+
+    #[test]
+    fn bounded_queue_sheds_at_capacity() {
+        let mut q = RequestQueue::bounded(2);
+        q.push(req(1)).unwrap();
+        q.push(req(2)).unwrap();
+        let rejected = q.push(req(3)).unwrap_err();
+        assert_eq!(rejected.id, 3);
+        assert_eq!(q.shed(), 1);
+        // Draining frees capacity again.
+        q.pop();
+        q.push(req(4)).unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.max_depth(), 2);
+        assert_eq!(q.shed(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        RequestQueue::bounded(0);
     }
 }

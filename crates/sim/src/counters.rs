@@ -85,6 +85,19 @@ impl CuKernelCounters {
         }
     }
 
+    /// Pins every CU of `mask` at [`MAX_KERNELS_PER_CU`], marking it
+    /// permanently saturated. Used when a CU *fails*: allocators that
+    /// prefer lightly-loaded CUs (and KRISP-I, which only grants idle
+    /// ones) will route around saturated CUs without any special-casing.
+    /// Saturated CUs must never be assigned or released again — the
+    /// machine guarantees this by removing failed CUs from every
+    /// dispatch mask.
+    pub fn saturate(&mut self, mask: &CuMask) {
+        for cu in mask {
+            *self.slot_mut(cu) = MAX_KERNELS_PER_CU;
+        }
+    }
+
     /// The number of kernels assigned to one CU.
     ///
     /// # Panics

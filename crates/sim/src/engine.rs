@@ -218,6 +218,69 @@ impl Engine {
         k.mask
     }
 
+    /// Removes an in-flight kernel *without* completing it (watchdog
+    /// abort path), returning its mask for counter release.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not in flight.
+    pub fn abort(&mut self, id: KernelId) -> CuMask {
+        self.complete(id)
+    }
+
+    /// Permanently removes `failed` CUs from every in-flight kernel's
+    /// mask and from future capacity accounting.
+    ///
+    /// Each affected kernel keeps running on its surviving CUs; a kernel
+    /// whose *entire* mask failed migrates to `fallback` (the caller's
+    /// healthy-CU mask) so it can still finish — the fluid model cannot
+    /// represent a stranded kernel with zero rate. Returns, for each
+    /// affected kernel, its id, the CUs it lost, and the replacement mask
+    /// it migrated to (if any), so the caller can fix up its
+    /// resource-monitor counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a kernel must migrate and `fallback` is empty or
+    /// intersects `failed`.
+    pub fn fail_cus(
+        &mut self,
+        failed: CuMask,
+        fallback: CuMask,
+    ) -> Vec<(KernelId, CuMask, Option<CuMask>)> {
+        let mut changed = Vec::new();
+        for i in 0..self.actives.len() {
+            let lost = self.actives[i].mask & failed;
+            if lost.is_empty() {
+                continue;
+            }
+            for cu in &lost {
+                let r = &mut self.residents[usize::from(cu)];
+                debug_assert!(*r > 0);
+                *r -= 1;
+            }
+            let survived = self.actives[i].mask - failed;
+            if survived.is_empty() {
+                assert!(
+                    !fallback.is_empty() && !fallback.intersects(&failed),
+                    "fallback mask for a fully-failed kernel must be healthy and non-empty"
+                );
+                for cu in &fallback {
+                    self.residents[usize::from(cu)] += 1;
+                }
+                self.actives[i].mask = fallback;
+                changed.push((self.actives[i].id, lost, Some(fallback)));
+            } else {
+                self.actives[i].mask = survived;
+                changed.push((self.actives[i].id, lost, None));
+            }
+        }
+        if !changed.is_empty() {
+            self.recompute_rates();
+        }
+        changed
+    }
+
     /// Number of in-flight kernels.
     pub fn active_count(&self) -> usize {
         self.actives.len()
@@ -376,6 +439,47 @@ mod tests {
     #[should_panic(expected = "not in flight")]
     fn completing_unknown_kernel_panics() {
         Engine::new(topo()).complete(KernelId(7));
+    }
+
+    #[test]
+    fn fail_cus_shrinks_masks_and_slows_kernels() {
+        let t = topo();
+        let mut e = Engine::new(t);
+        let k = e.dispatch(3.0e6, 60, 0.0, CuMask::first_n(30, &t)).unwrap();
+        // Fail the first 15 CUs: the kernel keeps its other 15.
+        let failed = CuMask::first_n(15, &t);
+        let fallback = CuMask::full(&t) - failed;
+        let changed = e.fail_cus(failed, fallback);
+        assert_eq!(changed.len(), 1);
+        assert_eq!(changed[0].0, k);
+        assert_eq!(changed[0].1.count(), 15);
+        assert!(changed[0].2.is_none());
+        assert_eq!(e.busy_cus(), 15);
+        // 3e6 work on 15 CUs now -> 200us from scratch.
+        let (tc, _) = e.next_completion(SimTime::ZERO).unwrap();
+        assert_eq!(tc.as_nanos(), 200_000);
+    }
+
+    #[test]
+    fn fully_failed_kernel_migrates_to_fallback() {
+        let t = topo();
+        let mut e = Engine::new(t);
+        let failed = CuMask::first_n(15, &t);
+        let k = e.dispatch(1.5e6, 60, 0.0, failed).unwrap();
+        let fallback = CuMask::full(&t) - failed;
+        let changed = e.fail_cus(failed, fallback);
+        assert_eq!(changed, vec![(k, failed, Some(fallback))]);
+        assert_eq!(e.busy_cus(), 45);
+        assert!(e.rate_of(k).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn fail_cus_without_overlap_is_a_no_op() {
+        let t = topo();
+        let mut e = Engine::new(t);
+        e.dispatch(1.0e6, 60, 0.0, CuMask::first_n(15, &t)).unwrap();
+        let failed: CuMask = [crate::topology::CuId(59)].into_iter().collect();
+        assert!(e.fail_cus(failed, CuMask::first_n(15, &t)).is_empty());
     }
 
     #[test]

@@ -1,0 +1,340 @@
+//! Deterministic fault injection: the [`FaultPlan`].
+//!
+//! Robustness experiments need *reproducible* failures. A fault plan is a
+//! list of `(sim-time, fault)` pairs fixed before the simulation starts;
+//! the [`crate::Machine`] schedules one internal timer per entry, so the
+//! same plan and seed always produce the same execution. An **empty plan
+//! is free**: no timers are scheduled, no per-dispatch checks run beyond
+//! a branch on empty state, and the RNG stream is untouched — results are
+//! bit-identical to a machine built without a plan.
+//!
+//! Four fault kinds cover the scenarios the robustness figure scripts:
+//!
+//! * [`FaultKind::FailCus`] — permanently fail a set of CUs (models a
+//!   partial device failure: an SE falling off the fabric, a CU parity
+//!   error). In-flight kernels lose the failed CUs from their masks and
+//!   slow down accordingly; kernels whose whole mask died migrate to the
+//!   surviving CUs. Failed CUs are poisoned in the resource-monitor
+//!   counters so kernel-scoped allocators route around them.
+//! * [`FaultKind::StallQueue`] — a queue stops draining packets for a
+//!   window (models a hung command processor slot / driver hiccup).
+//! * [`FaultKind::Straggle`] — kernels dispatched within a window have
+//!   their work multiplied (models thermal throttling or an interfering
+//!   tenant turning kernels into stragglers).
+//! * [`FaultKind::RejectMaskApply`] — CU-mask IOCTLs on a queue fail for
+//!   a window (models the flaky `hsa_amd_queue_cu_set_mask` path that the
+//!   runtime's watchdog must retry and eventually fall back from).
+
+use serde::{Deserialize, Serialize};
+
+use crate::mask::CuMask;
+use crate::queue::QueueId;
+use crate::time::{SimDuration, SimTime};
+
+/// One scheduled fault.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    /// Simulated instant at which the fault is injected.
+    pub at: SimTime,
+    /// What breaks.
+    pub kind: FaultKind,
+}
+
+/// The kinds of injectable faults.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// Permanently fail every CU in `mask` (idempotent for already-failed
+    /// CUs).
+    FailCus {
+        /// The CUs that die.
+        mask: CuMask,
+    },
+    /// Stop a queue from draining packets until `duration` has elapsed.
+    /// Kernels already executing are unaffected.
+    StallQueue {
+        /// The stalled queue.
+        queue: QueueId,
+        /// How long the queue stays stalled.
+        duration: SimDuration,
+    },
+    /// Multiply the work of kernels dispatched within the window by
+    /// `factor` (> 1.0 elongates them into stragglers).
+    Straggle {
+        /// Restrict to one queue, or `None` for every queue.
+        queue: Option<QueueId>,
+        /// Work multiplier applied at dispatch time.
+        factor: f64,
+        /// Window length from the injection instant.
+        window: SimDuration,
+    },
+    /// Make [`crate::Machine::set_queue_mask`] fail for one queue for a
+    /// window, modelling a flaky CU-masking IOCTL.
+    RejectMaskApply {
+        /// The affected queue.
+        queue: QueueId,
+        /// Window length from the injection instant.
+        window: SimDuration,
+    },
+}
+
+/// A deterministic schedule of faults, sorted by injection time.
+///
+/// # Examples
+///
+/// ```
+/// use krisp_sim::{FaultPlan, CuMask, GpuTopology, SimTime, SimDuration, QueueId};
+///
+/// let topo = GpuTopology::MI50;
+/// let plan = FaultPlan::new()
+///     .fail_cus(SimTime::from_nanos(1_000), CuMask::first_n(15, &topo))
+///     .stall_queue(SimTime::from_nanos(2_000), QueueId(0), SimDuration::from_micros(50));
+/// assert_eq!(plan.events().len(), 2);
+/// assert!(!plan.is_empty());
+/// assert!(FaultPlan::default().is_empty());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing, costs nothing).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// True when no fault is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The scheduled faults, sorted by injection time (stable for equal
+    /// times: insertion order).
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Schedules an arbitrary fault.
+    pub fn push(mut self, at: SimTime, kind: FaultKind) -> FaultPlan {
+        let pos = self.events.partition_point(|e| e.at <= at);
+        self.events.insert(pos, FaultEvent { at, kind });
+        self
+    }
+
+    /// Schedules a permanent CU failure.
+    pub fn fail_cus(self, at: SimTime, mask: CuMask) -> FaultPlan {
+        self.push(at, FaultKind::FailCus { mask })
+    }
+
+    /// Schedules a queue stall.
+    pub fn stall_queue(self, at: SimTime, queue: QueueId, duration: SimDuration) -> FaultPlan {
+        self.push(at, FaultKind::StallQueue { queue, duration })
+    }
+
+    /// Schedules a straggler window over all queues.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not finite and ≥ 1.0.
+    pub fn straggle_all(self, at: SimTime, factor: f64, window: SimDuration) -> FaultPlan {
+        assert!(
+            factor.is_finite() && factor >= 1.0,
+            "straggler factor must be finite and >= 1, got {factor}"
+        );
+        self.push(
+            at,
+            FaultKind::Straggle {
+                queue: None,
+                factor,
+                window,
+            },
+        )
+    }
+
+    /// Schedules a straggler window on one queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not finite and ≥ 1.0.
+    pub fn straggle_queue(
+        self,
+        at: SimTime,
+        queue: QueueId,
+        factor: f64,
+        window: SimDuration,
+    ) -> FaultPlan {
+        assert!(
+            factor.is_finite() && factor >= 1.0,
+            "straggler factor must be finite and >= 1, got {factor}"
+        );
+        self.push(
+            at,
+            FaultKind::Straggle {
+                queue: Some(queue),
+                factor,
+                window,
+            },
+        )
+    }
+
+    /// Schedules a mask-apply rejection window on one queue.
+    pub fn reject_mask_apply(self, at: SimTime, queue: QueueId, window: SimDuration) -> FaultPlan {
+        self.push(at, FaultKind::RejectMaskApply { queue, window })
+    }
+}
+
+// The serde shim only derives unit-variant enums, so the plan serializes
+// through a flat record form: one object per event with every field
+// present (unused ones null).
+impl Serialize for FaultPlan {
+    fn to_value(&self) -> serde::Value {
+        let events = self
+            .events
+            .iter()
+            .map(|e| {
+                let (kind, mask, queue, factor, dur_ns) = match &e.kind {
+                    FaultKind::FailCus { mask } => {
+                        ("fail_cus", Some(*mask), None::<u32>, None::<f64>, None)
+                    }
+                    FaultKind::StallQueue { queue, duration } => (
+                        "stall_queue",
+                        None,
+                        Some(queue.0),
+                        None,
+                        Some(duration.as_nanos()),
+                    ),
+                    FaultKind::Straggle {
+                        queue,
+                        factor,
+                        window,
+                    } => (
+                        "straggle",
+                        None,
+                        queue.map(|q| q.0),
+                        Some(*factor),
+                        Some(window.as_nanos()),
+                    ),
+                    FaultKind::RejectMaskApply { queue, window } => (
+                        "reject_mask_apply",
+                        None,
+                        Some(queue.0),
+                        None,
+                        Some(window.as_nanos()),
+                    ),
+                };
+                serde::Value::Object(vec![
+                    ("at_ns".to_string(), e.at.as_nanos().to_value()),
+                    ("kind".to_string(), kind.to_value()),
+                    ("mask".to_string(), mask.to_value()),
+                    ("queue".to_string(), queue.to_value()),
+                    ("factor".to_string(), factor.to_value()),
+                    ("dur_ns".to_string(), dur_ns.to_value()),
+                ])
+            })
+            .collect();
+        serde::Value::Object(vec![("events".to_string(), serde::Value::Array(events))])
+    }
+}
+
+impl<'de> Deserialize<'de> for FaultPlan {
+    fn from_value(v: &serde::Value) -> Result<FaultPlan, serde::de::Error> {
+        let events: Vec<serde::Value> = serde::de::field(v, "events")?;
+        let mut plan = FaultPlan::new();
+        for ev in &events {
+            let at = SimTime::from_nanos(serde::de::field(ev, "at_ns")?);
+            let kind: String = serde::de::field(ev, "kind")?;
+            let queue: Option<u32> = serde::de::field(ev, "queue")?;
+            let dur = serde::de::field::<Option<u64>>(ev, "dur_ns")?
+                .map(SimDuration::from_nanos)
+                .unwrap_or(SimDuration::ZERO);
+            let parsed = match kind.as_str() {
+                "fail_cus" => FaultKind::FailCus {
+                    mask: serde::de::field::<Option<CuMask>>(ev, "mask")?
+                        .ok_or_else(|| serde::de::Error::custom("fail_cus without mask"))?,
+                },
+                "stall_queue" => FaultKind::StallQueue {
+                    queue: QueueId(
+                        queue.ok_or_else(|| serde::de::Error::custom("stall without queue"))?,
+                    ),
+                    duration: dur,
+                },
+                "straggle" => FaultKind::Straggle {
+                    queue: queue.map(QueueId),
+                    factor: serde::de::field::<Option<f64>>(ev, "factor")?.unwrap_or(1.0),
+                    window: dur,
+                },
+                "reject_mask_apply" => FaultKind::RejectMaskApply {
+                    queue: QueueId(
+                        queue.ok_or_else(|| serde::de::Error::custom("reject without queue"))?,
+                    ),
+                    window: dur,
+                },
+                other => {
+                    return Err(serde::de::Error::custom(format!(
+                        "unknown fault kind `{other}`"
+                    )))
+                }
+            };
+            plan = plan.push(at, parsed);
+        }
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::GpuTopology;
+
+    #[test]
+    fn plan_sorts_by_time_stably() {
+        let t = GpuTopology::MI50;
+        let plan = FaultPlan::new()
+            .stall_queue(
+                SimTime::from_nanos(10),
+                QueueId(1),
+                SimDuration::from_nanos(5),
+            )
+            .fail_cus(SimTime::from_nanos(5), CuMask::first_n(1, &t))
+            .straggle_all(SimTime::from_nanos(10), 2.0, SimDuration::from_nanos(5));
+        let times: Vec<u64> = plan.events().iter().map(|e| e.at.as_nanos()).collect();
+        assert_eq!(times, vec![5, 10, 10]);
+        // Stable: the stall (inserted first) precedes the straggle at t=10.
+        assert!(matches!(
+            plan.events()[1].kind,
+            FaultKind::StallQueue { .. }
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "straggler factor")]
+    fn straggle_rejects_shrink_factor() {
+        FaultPlan::new().straggle_all(SimTime::ZERO, 0.5, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = GpuTopology::MI50;
+        let plan = FaultPlan::new()
+            .fail_cus(SimTime::from_nanos(3), CuMask::first_n(15, &t))
+            .stall_queue(
+                SimTime::from_nanos(7),
+                QueueId(2),
+                SimDuration::from_micros(1),
+            )
+            .straggle_queue(
+                SimTime::from_nanos(9),
+                QueueId(0),
+                4.0,
+                SimDuration::from_micros(2),
+            )
+            .reject_mask_apply(
+                SimTime::from_nanos(11),
+                QueueId(1),
+                SimDuration::from_nanos(8),
+            );
+        let value = plan.to_value();
+        let back = <FaultPlan as Deserialize>::from_value(&value).unwrap();
+        assert_eq!(back, plan);
+    }
+}

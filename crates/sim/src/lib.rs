@@ -53,6 +53,7 @@ pub mod allocator;
 pub mod contention;
 pub mod counters;
 pub mod engine;
+pub mod fault;
 pub mod machine;
 pub mod mask;
 pub mod power;
@@ -68,6 +69,7 @@ mod kernel;
 pub use allocator::{FullMaskAllocator, MaskAllocator};
 pub use counters::CuKernelCounters;
 pub use engine::{Engine, KernelId};
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use kernel::KernelDesc;
 pub use machine::{DispatchCosts, EnforcementMode, Machine, MachineConfig, MachineError, SimEvent};
 pub use mask::CuMask;

@@ -40,6 +40,7 @@ use rand::{Rng, SeedableRng};
 use crate::allocator::MaskAllocator;
 use crate::counters::CuKernelCounters;
 use crate::engine::{Engine, KernelId};
+use crate::fault::{FaultEvent, FaultKind, FaultPlan};
 use crate::kernel::KernelDesc;
 use crate::mask::CuMask;
 use crate::power::{EnergyMeter, PowerModel};
@@ -108,6 +109,10 @@ pub struct MachineConfig {
     /// Observability handles (event bus + metrics). Disabled by default;
     /// when disabled every instrumentation site is a single branch.
     pub obs: Obs,
+    /// Deterministic fault schedule. Empty by default; an empty plan is
+    /// zero-cost and leaves every run bit-identical (no timers, no RNG
+    /// draws, no mask changes).
+    pub faults: FaultPlan,
 }
 
 impl fmt::Debug for MachineConfig {
@@ -120,6 +125,7 @@ impl fmt::Debug for MachineConfig {
             .field("seed", &self.seed)
             .field("jitter_sigma", &self.jitter_sigma)
             .field("sharing_penalty", &self.sharing_penalty)
+            .field("faults", &self.faults)
             .finish_non_exhaustive()
     }
 }
@@ -136,6 +142,7 @@ impl Default for MachineConfig {
             jitter_sigma: 0.0,
             sharing_penalty: crate::contention::DEFAULT_SHARING_PENALTY,
             obs: Obs::disabled(),
+            faults: FaultPlan::new(),
         }
     }
 }
@@ -182,6 +189,15 @@ pub enum SimEvent {
         /// Fire instant.
         at: SimTime,
     },
+    /// An injected fault permanently failed a set of CUs (see
+    /// [`FaultKind::FailCus`]). Hosts use this to mark the device
+    /// degraded.
+    CusFailed {
+        /// The CUs that just died.
+        mask: CuMask,
+        /// Injection instant.
+        at: SimTime,
+    },
 }
 
 /// Errors from [`Machine`] configuration calls.
@@ -191,6 +207,9 @@ pub enum MachineError {
     UnknownQueue(QueueId),
     /// An empty CU mask was supplied; kernels could never progress.
     EmptyMask,
+    /// The CU-mask apply was rejected by an injected IOCTL fault
+    /// ([`FaultKind::RejectMaskApply`]); the caller may retry.
+    MaskApplyRejected(QueueId),
 }
 
 impl fmt::Display for MachineError {
@@ -198,6 +217,9 @@ impl fmt::Display for MachineError {
         match self {
             MachineError::UnknownQueue(q) => write!(f, "unknown queue {q}"),
             MachineError::EmptyMask => write!(f, "empty CU mask"),
+            MachineError::MaskApplyRejected(q) => {
+                write!(f, "CU-mask apply rejected on {q} (injected IOCTL fault)")
+            }
         }
     }
 }
@@ -208,6 +230,10 @@ impl std::error::Error for MachineError {}
 enum TimerKind {
     User(u64),
     QueueDelay(QueueId),
+    /// Inject the `idx`-th entry of the fault plan.
+    Fault(usize),
+    /// A queue-stall window ended; re-pump the stalled queue.
+    StallEnd,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -252,14 +278,38 @@ pub struct Machine {
 
     queues: Vec<HsaQueue>,
     pending_dispatch: HashMap<QueueId, DispatchPacket>,
-    inflight: HashMap<KernelId, (QueueId, u64, SimTime)>,
+    inflight: HashMap<KernelId, InflightKernel>,
     waiting_on_signal: HashMap<SignalId, (QueueId, u64, SimTime)>,
     completed_signals: HashSet<SignalId>,
     next_signal: u64,
 
+    // Fault-injection state. All empty/zero for an empty plan, in which
+    // case every check below short-circuits on an `is_empty` branch.
+    faults: Vec<FaultEvent>,
+    failed_cus: CuMask,
+    stalled_until: HashMap<QueueId, SimTime>,
+    straggles: Vec<StraggleWindow>,
+    mask_rejects: Vec<(QueueId, SimTime)>,
+
     timers: BinaryHeap<TimerEntry>,
     next_timer_seq: u64,
     out: VecDeque<SimEvent>,
+}
+
+/// Book-keeping for one executing kernel. The original dispatch packet
+/// is retained so a watchdog can abort and re-issue it.
+struct InflightKernel {
+    queue: QueueId,
+    tag: u64,
+    started: SimTime,
+    packet: DispatchPacket,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct StraggleWindow {
+    queue: Option<QueueId>,
+    factor: f64,
+    until: SimTime,
 }
 
 impl fmt::Debug for Machine {
@@ -277,7 +327,8 @@ impl fmt::Debug for Machine {
 impl Machine {
     /// Creates a machine from a configuration.
     pub fn new(config: MachineConfig) -> Machine {
-        Machine {
+        let fault_events: Vec<FaultEvent> = config.faults.events().to_vec();
+        let mut machine = Machine {
             topology: config.topology,
             power: config.power,
             costs: config.costs,
@@ -298,10 +349,22 @@ impl Machine {
             waiting_on_signal: HashMap::new(),
             completed_signals: HashSet::new(),
             next_signal: 0,
+            faults: fault_events,
+            failed_cus: CuMask::EMPTY,
+            stalled_until: HashMap::new(),
+            straggles: Vec::new(),
+            mask_rejects: Vec::new(),
             timers: BinaryHeap::new(),
             next_timer_seq: 0,
             out: VecDeque::new(),
+        };
+        // One internal timer per scheduled fault. An empty plan schedules
+        // nothing, keeping fault-free runs bit-identical.
+        for i in 0..machine.faults.len() {
+            let at = machine.faults[i].at;
+            machine.push_timer(at, TimerKind::Fault(i));
         }
+        machine
     }
 
     /// The device topology.
@@ -345,6 +408,78 @@ impl Machine {
         self.mode
     }
 
+    /// The CUs that have permanently failed so far (empty without
+    /// injected faults).
+    pub fn failed_cus(&self) -> CuMask {
+        self.failed_cus
+    }
+
+    /// The CUs still alive: the full device minus [`Machine::failed_cus`].
+    pub fn healthy_mask(&self) -> CuMask {
+        CuMask::full(&self.topology) - self.failed_cus
+    }
+
+    /// Aborts the kernel currently executing (or being dispatched) on
+    /// `queue`, returning its original dispatch packet so the host can
+    /// re-issue it. The queue is left **held**: the command processor
+    /// will not start its next packet until [`Machine::release_queue`] —
+    /// this is the watchdog's backoff window. Returns `None` when the
+    /// queue has no kernel in flight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue was never created.
+    pub fn abort_inflight(&mut self, queue: QueueId) -> Option<DispatchPacket> {
+        let qi = queue.0 as usize;
+        assert!(qi < self.queues.len(), "unknown queue {queue}");
+        match self.queues[qi].state.clone() {
+            QueueState::Running(id) => {
+                let mask = self.engine.abort(id);
+                self.counters.release(&mask);
+                let info = self.inflight.remove(&id).expect("running kernel tracked");
+                self.queues[qi].state = QueueState::Idle;
+                self.queues[qi].held = true;
+                Some(info.packet)
+            }
+            QueueState::Dispatching => {
+                // Still in launch latency; the pending QueueDelay timer
+                // becomes a no-op (start_pending_dispatch tolerates a
+                // missing entry).
+                let packet = self.pending_dispatch.remove(&queue)?;
+                self.queues[qi].state = QueueState::Idle;
+                self.queues[qi].held = true;
+                Some(packet)
+            }
+            _ => None,
+        }
+    }
+
+    /// Releases a queue held by [`Machine::abort_inflight`], letting the
+    /// command processor resume draining it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue was never created.
+    pub fn release_queue(&mut self, queue: QueueId) {
+        let qi = queue.0 as usize;
+        assert!(qi < self.queues.len(), "unknown queue {queue}");
+        self.queues[qi].held = false;
+    }
+
+    /// Pushes a packet at the *front* of a queue (retry path: an aborted
+    /// kernel must re-run before the rest of the queue's work).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue was never created.
+    pub fn push_packet_front(&mut self, queue: QueueId, packet: AqlPacket) {
+        let q = self
+            .queues
+            .get_mut(queue.0 as usize)
+            .unwrap_or_else(|| panic!("unknown queue {queue}"));
+        q.packets.push_front(packet);
+    }
+
     /// Creates a new HSA queue (stream) with the full-device CU mask.
     pub fn create_queue(&mut self) -> QueueId {
         let id = QueueId(self.queues.len() as u32);
@@ -362,6 +497,18 @@ impl Machine {
     pub fn set_queue_mask(&mut self, queue: QueueId, mask: CuMask) -> Result<(), MachineError> {
         if mask.is_empty() {
             return Err(MachineError::EmptyMask);
+        }
+        if !self.mask_rejects.is_empty() {
+            let now = self.now;
+            self.mask_rejects.retain(|&(_, until)| until > now);
+            if self.mask_rejects.iter().any(|&(q, _)| q == queue) {
+                self.obs
+                    .bus
+                    .emit(self.now.as_nanos(), || EventKind::MaskApplyFault {
+                        queue: queue.0,
+                    });
+                return Err(MachineError::MaskApplyRejected(queue));
+            }
         }
         let q = self
             .queues
@@ -484,7 +631,7 @@ impl Machine {
     /// machines conservatively (multi-GPU serving): always step the
     /// machine with the earliest next event.
     pub fn next_event_at(&self) -> Option<SimTime> {
-        if !self.out.is_empty() || self.queues.iter().any(|q| q.ready()) {
+        if !self.out.is_empty() || self.queues.iter().any(|q| self.queue_runnable(q)) {
             return Some(self.now);
         }
         let completion = self.engine.next_completion(self.now).map(|(t, _)| t);
@@ -532,6 +679,10 @@ impl Machine {
                         at: self.now,
                     }),
                     TimerKind::QueueDelay(q) => self.start_pending_dispatch(q),
+                    TimerKind::Fault(idx) => self.inject_fault(idx),
+                    // The stall window ended: nothing to do here — the
+                    // loop re-pumps queues, and queue_runnable now passes.
+                    TimerKind::StallEnd => {}
                 }
             }
         }
@@ -560,6 +711,17 @@ impl Machine {
         self.advance_time_to(target);
     }
 
+    /// Whether the command processor may make progress on a queue right
+    /// now (ready, and not inside an injected stall window).
+    fn queue_runnable(&self, q: &HsaQueue) -> bool {
+        q.ready()
+            && (self.stalled_until.is_empty()
+                || self
+                    .stalled_until
+                    .get(&q.id)
+                    .is_none_or(|&until| until <= self.now))
+    }
+
     fn push_timer(&mut self, at: SimTime, kind: TimerKind) {
         let seq = self.next_timer_seq;
         self.next_timer_seq += 1;
@@ -584,7 +746,12 @@ impl Machine {
     fn finish_kernel(&mut self, id: KernelId) {
         let mask = self.engine.complete(id);
         self.counters.release(&mask);
-        let (queue, tag, started) = self
+        let InflightKernel {
+            queue,
+            tag,
+            started,
+            packet: _,
+        } = self
             .inflight
             .remove(&id)
             .expect("completed kernel not tracked");
@@ -624,7 +791,7 @@ impl Machine {
     fn pump_queues(&mut self) {
         for qi in 0..self.queues.len() {
             loop {
-                if !self.queues[qi].ready() {
+                if !self.queue_runnable(&self.queues[qi]) {
                     break;
                 }
                 let packet = self.queues[qi].packets.pop_front().expect("ready queue");
@@ -679,16 +846,28 @@ impl Machine {
     }
 
     fn start_pending_dispatch(&mut self, queue: QueueId) {
-        let d = self
-            .pending_dispatch
-            .remove(&queue)
-            .expect("queue-delay timer without pending dispatch");
-        let mask = match (self.mode, d.partition_cus) {
+        // A missing entry means the dispatch was aborted mid-launch
+        // (watchdog) — the timer is stale.
+        let Some(d) = self.pending_dispatch.remove(&queue) else {
+            return;
+        };
+        let mut mask = match (self.mode, d.partition_cus) {
             (EnforcementMode::KernelScoped, Some(n)) => {
                 self.allocator.allocate(n, &self.counters, &self.topology)
             }
             _ => self.queues[queue.0 as usize].cu_mask,
         };
+        if !self.failed_cus.is_empty() {
+            // Never run on dead CUs. If the whole mask died (e.g. a
+            // stream mask pinned to a failed SE), degrade conservatively
+            // to every surviving CU rather than stranding the kernel.
+            let survived = mask - self.failed_cus;
+            mask = if survived.is_empty() {
+                self.healthy_mask()
+            } else {
+                survived
+            };
+        }
         assert!(
             !mask.is_empty(),
             "allocator/queue produced an empty mask for {queue}"
@@ -713,17 +892,17 @@ impl Machine {
                 .inc("krisp_kernel_dispatches_total", &[("mode", mode)], 1);
         }
         let jitter = self.sample_jitter();
+        let straggle = self.straggle_factor(queue);
         let id = self
             .engine
             .dispatch(
-                d.kernel.work * jitter,
+                d.kernel.work * jitter * straggle,
                 d.kernel.parallelism,
                 d.kernel.bandwidth_floor,
                 mask,
             )
             .expect("non-empty mask");
         self.counters.assign(&mask);
-        self.inflight.insert(id, (queue, d.tag, self.now));
         self.queues[queue.0 as usize].state = QueueState::Running(id);
         self.out.push_back(SimEvent::KernelStarted {
             queue,
@@ -731,6 +910,111 @@ impl Machine {
             at: self.now,
             mask,
         });
+        self.inflight.insert(
+            id,
+            InflightKernel {
+                queue,
+                tag: d.tag,
+                started: self.now,
+                packet: d,
+            },
+        );
+    }
+
+    /// Product of the work multipliers of every straggler window active
+    /// on `queue` right now; exactly 1.0 (no float op at all) when no
+    /// window was ever injected.
+    fn straggle_factor(&mut self, queue: QueueId) -> f64 {
+        if self.straggles.is_empty() {
+            return 1.0;
+        }
+        let now = self.now;
+        self.straggles.retain(|w| w.until > now);
+        self.straggles
+            .iter()
+            .filter(|w| w.queue.is_none() || w.queue == Some(queue))
+            .map(|w| w.factor)
+            .product()
+    }
+
+    /// Applies the `idx`-th fault-plan entry at its scheduled instant.
+    fn inject_fault(&mut self, idx: usize) {
+        let fault = self.faults[idx].clone();
+        match fault.kind {
+            FaultKind::FailCus { mask } => {
+                let newly = mask - self.failed_cus;
+                if newly.is_empty() {
+                    return;
+                }
+                self.failed_cus = self.failed_cus | newly;
+                let fallback = self.healthy_mask();
+                assert!(
+                    !fallback.is_empty(),
+                    "fault plan failed every CU of the device"
+                );
+                // Shrink in-flight kernels and fix up the resource
+                // monitor: lost CUs are released, migrated kernels are
+                // re-assigned, then the dead CUs are pinned saturated so
+                // allocators route around them.
+                let changed = self.engine.fail_cus(newly, fallback);
+                for (_, lost, migrated) in &changed {
+                    self.counters.release(lost);
+                    if let Some(m) = migrated {
+                        self.counters.assign(m);
+                    }
+                }
+                self.counters.saturate(&newly);
+                let total_failed = self.failed_cus.count();
+                self.obs
+                    .bus
+                    .emit(self.now.as_nanos(), || EventKind::CusFailed {
+                        mask: newly.raw_words(),
+                        total_failed,
+                    });
+                if self.obs.metrics.enabled() {
+                    self.obs
+                        .metrics
+                        .inc("krisp_cus_failed_total", &[], u64::from(newly.count()));
+                }
+                self.out.push_back(SimEvent::CusFailed {
+                    mask: newly,
+                    at: self.now,
+                });
+            }
+            FaultKind::StallQueue { queue, duration } => {
+                let until = self.now + duration;
+                let entry = self.stalled_until.entry(queue).or_insert(until);
+                *entry = (*entry).max(until);
+                self.push_timer(until, TimerKind::StallEnd);
+                self.obs
+                    .bus
+                    .emit(self.now.as_nanos(), || EventKind::QueueStalled {
+                        queue: queue.0,
+                        dur_ns: duration.as_nanos(),
+                    });
+            }
+            FaultKind::Straggle {
+                queue,
+                factor,
+                window,
+            } => {
+                self.straggles.push(StraggleWindow {
+                    queue,
+                    factor,
+                    until: self.now + window,
+                });
+                self.obs
+                    .bus
+                    .emit(self.now.as_nanos(), || EventKind::StragglerWindow {
+                        queue: queue.map_or(u32::MAX, |q| q.0),
+                        factor_pct: (factor * 100.0).round() as u32,
+                        dur_ns: window.as_nanos(),
+                    });
+            }
+            FaultKind::RejectMaskApply { queue, window } => {
+                self.mask_rejects.push((queue, self.now + window));
+            }
+        }
     }
 
     /// Mean-one lognormal multiplicative jitter.
@@ -1003,6 +1287,179 @@ mod tests {
         m.advance_idle(SimDuration::from_millis(100));
         // Idle device: static power only = 25 W * 0.1 s = 2.5 J.
         assert!((m.energy_joules() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn failing_cus_slows_inflight_kernels_and_masks_survivors() {
+        let mut m = Machine::new(MachineConfig {
+            faults: FaultPlan::new().fail_cus(
+                SimTime::from_nanos(55_000),
+                CuMask::first_n(15, &GpuTopology::MI50),
+            ),
+            ..MachineConfig::default()
+        });
+        let q = m.create_queue();
+        m.set_queue_mask(q, CuMask::first_n(30, &m.topology()))
+            .unwrap();
+        m.push_dispatch(q, KernelDesc::new("a", 3.0e6, 60), 0);
+        m.push_dispatch(q, KernelDesc::new("b", 1.5e6, 60), 1);
+        let evs = drain(&mut m);
+        // Kernel a: starts at 5us on 30 CUs (rate 30); at t=55us the
+        // first 15 CUs die with 1.5e6 work left -> rate 15 -> +100us.
+        let end_a = evs
+            .iter()
+            .find_map(|e| match e {
+                SimEvent::KernelCompleted { tag: 0, at, .. } => Some(at.as_nanos()),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(end_a, 155_000);
+        // The fault surfaced as a host event.
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e, SimEvent::CusFailed { mask, .. } if mask.count() == 15)));
+        // Kernel b dispatches on the surviving half of the queue mask.
+        let mask_b = evs
+            .iter()
+            .find_map(|e| match e {
+                SimEvent::KernelStarted { tag: 1, mask, .. } => Some(*mask),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(mask_b.count(), 15);
+        assert!(!mask_b.intersects(&CuMask::first_n(15, &m.topology())));
+        assert_eq!(m.failed_cus().count(), 15);
+        assert_eq!(m.healthy_mask().count(), 45);
+        // Resource monitor: failed CUs pinned saturated, the rest clean.
+        assert_eq!(m.counters().total(), 15 * 32);
+    }
+
+    #[test]
+    fn queue_mask_fully_dead_falls_back_to_healthy_cus() {
+        let mut m = Machine::new(MachineConfig {
+            faults: FaultPlan::new()
+                .fail_cus(SimTime::ZERO, CuMask::first_n(15, &GpuTopology::MI50)),
+            ..MachineConfig::default()
+        });
+        let q = m.create_queue();
+        m.set_queue_mask(q, CuMask::first_n(15, &m.topology()))
+            .unwrap();
+        m.push_dispatch(q, KernelDesc::new("k", 4.5e6, 60), 0);
+        let evs = drain(&mut m);
+        let mask = evs
+            .iter()
+            .find_map(|e| match e {
+                SimEvent::KernelStarted { mask, .. } => Some(*mask),
+                _ => None,
+            })
+            .unwrap();
+        // Conservative degradation: every surviving CU.
+        assert_eq!(mask.count(), 45);
+    }
+
+    #[test]
+    fn stalled_queue_defers_the_next_packet() {
+        let mut m = Machine::new(MachineConfig {
+            faults: FaultPlan::new().stall_queue(
+                SimTime::from_nanos(10_000),
+                QueueId(0),
+                SimDuration::from_nanos(200_000),
+            ),
+            ..MachineConfig::default()
+        });
+        let q = m.create_queue();
+        m.push_dispatch(q, KernelDesc::new("a", 6.0e6, 60), 0);
+        m.push_dispatch(q, KernelDesc::new("b", 6.0e6, 60), 1);
+        let evs = drain(&mut m);
+        // a runs normally: [5us, 105us]. The stall covers [10us, 210us],
+        // so b pops only at 210us and starts at 215us.
+        let start_b = evs
+            .iter()
+            .find_map(|e| match e {
+                SimEvent::KernelStarted { tag: 1, at, .. } => Some(at.as_nanos()),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(start_b, 215_000);
+    }
+
+    #[test]
+    fn straggler_window_elongates_dispatched_kernels() {
+        let mut m = Machine::new(MachineConfig {
+            faults: FaultPlan::new().straggle_all(SimTime::ZERO, 2.0, SimDuration::from_millis(1)),
+            ..MachineConfig::default()
+        });
+        let q = m.create_queue();
+        m.push_dispatch(q, KernelDesc::new("k", 3.0e6, 60), 0);
+        let evs = drain(&mut m);
+        let end = evs
+            .iter()
+            .find_map(|e| match e {
+                SimEvent::KernelCompleted { at, .. } => Some(at.as_nanos()),
+                _ => None,
+            })
+            .unwrap();
+        // 3e6 CU*ns doubled on 60 CUs = 100us, plus 5us launch.
+        assert_eq!(end, 105_000);
+    }
+
+    #[test]
+    fn mask_apply_rejection_window_fails_then_recovers() {
+        let mut m = Machine::new(MachineConfig {
+            faults: FaultPlan::new().reject_mask_apply(
+                SimTime::ZERO,
+                QueueId(0),
+                SimDuration::from_nanos(10_000),
+            ),
+            ..MachineConfig::default()
+        });
+        let q = m.create_queue();
+        let mask = CuMask::first_n(15, &m.topology());
+        // Advance past the injection instant but inside the window.
+        m.add_timer(SimDuration::from_nanos(5_000), 1);
+        drain(&mut m);
+        assert_eq!(
+            m.set_queue_mask(q, mask),
+            Err(MachineError::MaskApplyRejected(q))
+        );
+        // Advance past the window end: applies succeed again.
+        m.add_timer(SimDuration::from_nanos(10_000), 2);
+        drain(&mut m);
+        assert_eq!(m.set_queue_mask(q, mask), Ok(()));
+        assert_eq!(m.queue_mask(q).unwrap(), mask);
+    }
+
+    #[test]
+    fn abort_holds_queue_until_retry() {
+        let mut m = machine();
+        let q = m.create_queue();
+        m.push_dispatch(q, KernelDesc::new("a", 6.0e6, 60), 0);
+        m.push_dispatch(q, KernelDesc::new("b", 6.0e6, 60), 1);
+        // Step until a is executing.
+        loop {
+            match m.step() {
+                Some(SimEvent::KernelStarted { tag: 0, .. }) => break,
+                Some(_) => continue,
+                None => panic!("kernel never started"),
+            }
+        }
+        let packet = m.abort_inflight(q).expect("kernel was running");
+        assert_eq!(packet.tag, 0);
+        assert_eq!(m.counters().total(), 0);
+        // Held: b must not start during the backoff window.
+        assert_eq!(m.step(), None);
+        // Retry: the aborted kernel re-runs before b.
+        m.push_packet_front(q, AqlPacket::Dispatch(packet));
+        m.release_queue(q);
+        let evs = drain(&mut m);
+        let completed: Vec<u64> = evs
+            .iter()
+            .filter_map(|e| match e {
+                SimEvent::KernelCompleted { tag, .. } => Some(*tag),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(completed, vec![0, 1]);
     }
 
     #[test]

@@ -110,6 +110,10 @@ pub(crate) struct HsaQueue {
     pub packets: VecDeque<AqlPacket>,
     pub cu_mask: CuMask,
     pub state: QueueState,
+    /// Host-side hold: the runtime parks a queue here while it backs off
+    /// before retrying an aborted kernel, so the command processor does
+    /// not race ahead to the next packet.
+    pub held: bool,
 }
 
 impl HsaQueue {
@@ -119,12 +123,13 @@ impl HsaQueue {
             packets: VecDeque::new(),
             cu_mask: CuMask::full(topology),
             state: QueueState::Idle,
+            held: false,
         }
     }
 
     /// Whether the command processor can make progress on this queue.
     pub fn ready(&self) -> bool {
-        self.state == QueueState::Idle && !self.packets.is_empty()
+        !self.held && self.state == QueueState::Idle && !self.packets.is_empty()
     }
 }
 

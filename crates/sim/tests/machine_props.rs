@@ -148,6 +148,7 @@ proptest! {
                     at
                 }
                 SimEvent::KernelStarted { at, .. } => at,
+                SimEvent::CusFailed { at, .. } => at,
             };
             // Events arrive in nondecreasing time order.
             prop_assert!(at >= last_at);

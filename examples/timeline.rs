@@ -44,7 +44,9 @@ fn record(mode: PartitionMode, title: &str) {
             RtEvent::KernelCompleted { stream, tag, at } => {
                 log.record_end(stream.0, tag, at);
             }
-            RtEvent::TimerFired { .. } => {}
+            RtEvent::TimerFired { .. }
+            | RtEvent::CusFailed { .. }
+            | RtEvent::KernelFailed { .. } => {}
         }
     }
     println!("\n=== {title} ===");
