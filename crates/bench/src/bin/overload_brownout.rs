@@ -1,0 +1,11 @@
+//! Overload-guardrail figure: goodput across load sweeps with the
+//! sentinel stack on/off per policy. `KRISP_SMOKE=1` runs the short CI
+//! variant against the oracle perfdb.
+fn main() {
+    let db = if krisp_bench::overload_brownout::smoke() {
+        krisp_server::oracle_perfdb(&[krisp_models::ModelKind::Squeezenet], &[32])
+    } else {
+        krisp_bench::measured_perfdb(&[32])
+    };
+    krisp_bench::overload_brownout::run(&db);
+}

@@ -22,6 +22,7 @@ fn main() {
     krisp_bench::cluster_scaling::run(&db);
     krisp_bench::robustness::run(&db);
     krisp_bench::robustness_faults::run(&db);
+    krisp_bench::overload_brownout::run(&db);
     krisp_bench::summary::run();
     println!("\nall experiments regenerated; JSON results under results/");
 }

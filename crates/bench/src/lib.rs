@@ -26,6 +26,7 @@
 //! | `ablations` | design-choice ablations (granularity, distribution, costs, γ) |
 //! | `validation` | fluid-vs-discrete execution-model cross-check |
 //! | `robustness_faults` | fault-injection scenarios (stragglers / CU loss / crash) |
+//! | `overload_brownout` | overload guardrails: goodput sweeps, sentinel on/off |
 //! | `run_all` | everything above, in order |
 
 #![forbid(unsafe_code)]
@@ -45,6 +46,7 @@ pub mod fig13;
 pub mod fig14;
 pub mod fig15;
 pub mod fig16;
+pub mod overload_brownout;
 pub mod robustness;
 pub mod robustness_faults;
 pub mod summary;

@@ -97,6 +97,11 @@ fn server_row(
     let mut cfg = server_cfg(policy, duration);
     cfg.faults = plan;
     let faulted = run_server(&cfg, perfdb);
+    let flow = faulted.flow.as_ref().expect("server runs track flow");
+    assert!(
+        flow.conserved(),
+        "{scenario}/{policy:?}: request books out of balance: {flow:?}"
+    );
     let rb = faulted.robustness();
     Row {
         scenario: scenario.to_string(),
@@ -128,6 +133,10 @@ fn crash_row(policy: Policy, horizon: SimDuration, perfdb: &RequiredCusTable) ->
         down_for: horizon / 4,
     });
     let faulted = run_cluster(&cfg, perfdb);
+    assert!(
+        faulted.conserved(),
+        "worker_crash/{policy:?}: request books out of balance: {faulted:?}"
+    );
     Row {
         scenario: "worker_crash".to_string(),
         policy,

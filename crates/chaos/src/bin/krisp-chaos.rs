@@ -1,0 +1,115 @@
+//! Command-line chaos fuzzer.
+//!
+//! ```text
+//! krisp-chaos fuzz [--cases N] [--seed S] [--out DIR]
+//! krisp-chaos replay <file>
+//! ```
+//!
+//! `fuzz` runs `N` seeded cases (`S`, `S+1`, …) through the invariant
+//! oracles; on the first violation it shrinks to a minimal reproducer,
+//! writes it under `--out` (default `results/chaos_repros/`), and exits
+//! non-zero. `replay` re-runs a persisted reproducer and reports
+//! whether the violation still triggers. Set `KRISP_SMOKE=1` for the
+//! shorter CI-sized case windows.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use krisp_chaos::{check_case, read_repro, shrink, write_repro, FuzzCase, GenConfig, REPRO_DIR};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: krisp-chaos fuzz [--cases N] [--seed S] [--out DIR]");
+    eprintln!("       krisp-chaos replay <file>");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("fuzz") => fuzz(&args[1..]),
+        Some("replay") => replay(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn fuzz(args: &[String]) -> ExitCode {
+    let mut cases = 200u64;
+    let mut seed = 1u64;
+    let mut out = PathBuf::from(REPRO_DIR);
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let Some(value) = it.next() else {
+            return usage();
+        };
+        match flag.as_str() {
+            "--cases" => match value.parse() {
+                Ok(n) => cases = n,
+                Err(_) => return usage(),
+            },
+            "--seed" => match value.parse() {
+                Ok(s) => seed = s,
+                Err(_) => return usage(),
+            },
+            "--out" => out = PathBuf::from(value),
+            _ => return usage(),
+        }
+    }
+
+    let gen = GenConfig::from_env();
+    println!(
+        "krisp-chaos: fuzzing {cases} cases from seed {seed} (smoke={})",
+        gen.smoke
+    );
+    for i in 0..cases {
+        let case_seed = seed + i;
+        let case = FuzzCase::generate(case_seed, &gen);
+        if let Some(violation) = check_case(&case) {
+            eprintln!("seed {case_seed}: VIOLATION: {violation}");
+            eprintln!("shrinking...");
+            let (min, min_violation) = shrink(&case, &check_case);
+            match write_repro(&out, &min, &min_violation) {
+                Ok(path) => {
+                    eprintln!("minimal reproducer: {}", path.display());
+                    eprintln!(
+                        "replay with: cargo run --release -p krisp-chaos -- replay {}",
+                        path.display()
+                    );
+                }
+                Err(e) => eprintln!("failed to write reproducer: {e}"),
+            }
+            return ExitCode::FAILURE;
+        }
+        if (i + 1) % 25 == 0 {
+            println!("  {}/{cases} cases clean", i + 1);
+        }
+    }
+    println!("krisp-chaos: all {cases} cases upheld every invariant");
+    ExitCode::SUCCESS
+}
+
+fn replay(args: &[String]) -> ExitCode {
+    let [path] = args else {
+        return usage();
+    };
+    let repro = match read_repro(&PathBuf::from(path)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("krisp-chaos: cannot load {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "replaying seed {} (recorded violation: {})",
+        repro.case.seed, repro.violation
+    );
+    match check_case(&repro.case) {
+        Some(violation) => {
+            eprintln!("REPRODUCED: {violation}");
+            ExitCode::FAILURE
+        }
+        None => {
+            println!("case no longer violates any invariant (fixed?)");
+            ExitCode::SUCCESS
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Fuzz-case generation and serialization.
+//!
+//! A [`FuzzCase`] is a complete, self-contained description of one
+//! randomized serving experiment: the policy, the co-located models, the
+//! open-loop arrival rate, the guardrail configuration, and a
+//! [`FaultPlan`]. Cases are generated from a single `u64` seed through
+//! the vendored deterministic [`rand`] shim, so the same seed always
+//! yields the same case on every machine — the property the whole
+//! shrink-and-replay workflow rests on.
+
+use std::str::FromStr;
+
+use krisp::Policy;
+use krisp_models::ModelKind;
+use krisp_runtime::WatchdogConfig;
+use krisp_server::{Arrival, SentinelConfig, ServerConfig};
+use krisp_sim::{CuMask, FaultPlan, GpuTopology, QueueId, SimDuration, SimTime};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Models the fuzzer draws workers from. Restricted to the lighter end
+/// of the zoo so a single case simulates in well under a second; the
+/// invariants under test are model-agnostic.
+pub const MODEL_POOL: [ModelKind; 4] = [
+    ModelKind::Squeezenet,
+    ModelKind::Shufflenet,
+    ModelKind::Albert,
+    ModelKind::Alexnet,
+];
+
+/// Policies the fuzzer exercises: the two static baselines plus the
+/// kernel-scoped KRISP-I path (which covers the mask-apply machinery the
+/// `reject_mask_apply` fault targets).
+pub const POLICY_POOL: [Policy; 3] = [Policy::MpsDefault, Policy::StaticEqual, Policy::KrispI];
+
+/// One randomized serving experiment, reproducible from `seed`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzCase {
+    /// Seed for the simulation RNG (kernel jitter, arrivals).
+    pub seed: u64,
+    /// Spatial-partitioning policy.
+    pub policy: Policy,
+    /// One model per worker.
+    pub models: Vec<ModelKind>,
+    /// Open-loop Poisson arrival rate per worker.
+    pub rps_per_worker: f64,
+    /// Measurement-window length, milliseconds.
+    pub duration_ms: u64,
+    /// Per-worker queue bound (`None` = unbounded).
+    pub queue_capacity: Option<usize>,
+    /// Per-request deadline, milliseconds (`None` = no deadline).
+    pub deadline_ms: Option<u64>,
+    /// Sentinel guardrails: `Some(rate)` arms the full
+    /// [`SentinelConfig::standard`] stack with that admission rate.
+    pub sentinel_rate: Option<f64>,
+    /// Arm the kernel watchdog (straggler abort + budgeted retries).
+    pub watchdog: bool,
+    /// Deterministic fault schedule.
+    pub faults: FaultPlan,
+}
+
+/// Knobs for case generation.
+#[derive(Debug, Clone, Copy)]
+pub struct GenConfig {
+    /// Smoke mode: shorter windows and fewer workers, for CI.
+    pub smoke: bool,
+}
+
+impl GenConfig {
+    /// Reads `KRISP_SMOKE` from the environment.
+    pub fn from_env() -> GenConfig {
+        GenConfig {
+            smoke: std::env::var("KRISP_SMOKE").is_ok_and(|v| v != "0"),
+        }
+    }
+}
+
+impl FuzzCase {
+    /// Generates the case for `case_seed` deterministically.
+    pub fn generate(case_seed: u64, gen: &GenConfig) -> FuzzCase {
+        let mut rng = StdRng::seed_from_u64(case_seed ^ 0x5EED_CA5E);
+        let topo = GpuTopology::MI50;
+        let n_workers = if gen.smoke {
+            rng.gen_range(1..3usize)
+        } else {
+            rng.gen_range(1..4usize)
+        };
+        let models = (0..n_workers)
+            .map(|_| MODEL_POOL[rng.gen_range(0..MODEL_POOL.len())])
+            .collect::<Vec<_>>();
+        let policy = POLICY_POOL[rng.gen_range(0..POLICY_POOL.len())];
+        let rps_per_worker = rng.gen_range(20.0..400.0f64);
+        let duration_ms = if gen.smoke {
+            rng.gen_range(80..160u64)
+        } else {
+            rng.gen_range(150..400u64)
+        };
+        let queue_capacity = if rng.gen_range(0..2u32) == 0 {
+            Some(rng.gen_range(2..16usize))
+        } else {
+            None
+        };
+        let deadline_ms = if rng.gen_range(0..2u32) == 0 {
+            Some(rng.gen_range(10..60u64))
+        } else {
+            None
+        };
+        let sentinel_rate = if rng.gen_range(0..2u32) == 0 {
+            Some(rng.gen_range(50.0..300.0f64))
+        } else {
+            None
+        };
+        let watchdog = rng.gen_range(0..4u32) != 0;
+
+        let horizon_ns = (duration_ms + WARMUP_MS) * 1_000_000;
+        let n_faults = rng.gen_range(0..5usize);
+        let mut faults = FaultPlan::new();
+        for _ in 0..n_faults {
+            let at = SimTime::from_nanos(rng.gen_range(0..horizon_ns));
+            let queue = QueueId(rng.gen_range(0..n_workers as u32));
+            let window = SimDuration::from_millis(rng.gen_range(5..80u64));
+            faults = match rng.gen_range(0..4u32) {
+                0 => faults.fail_cus(at, CuMask::first_n(rng.gen_range(1..20u16), &topo)),
+                1 => faults.stall_queue(at, queue, window),
+                2 => {
+                    let factor = rng.gen_range(2.0..16.0f64);
+                    if rng.gen_range(0..2u32) == 0 {
+                        faults.straggle_all(at, factor, window)
+                    } else {
+                        faults.straggle_queue(at, queue, factor, window)
+                    }
+                }
+                _ => faults.reject_mask_apply(at, queue, window),
+            };
+        }
+
+        FuzzCase {
+            seed: case_seed,
+            policy,
+            models,
+            rps_per_worker,
+            duration_ms,
+            queue_capacity,
+            deadline_ms,
+            sentinel_rate,
+            watchdog,
+            faults,
+        }
+    }
+
+    /// Lowers the case to a runnable [`ServerConfig`].
+    pub fn to_server_config(&self) -> ServerConfig {
+        let mut cfg = ServerConfig::closed_loop(self.policy, self.models.clone(), 32);
+        cfg.arrival = Arrival::Poisson {
+            rps_per_worker: self.rps_per_worker,
+        };
+        cfg.seed = self.seed;
+        cfg.warmup = Some(SimDuration::from_millis(WARMUP_MS));
+        cfg.duration = Some(SimDuration::from_millis(self.duration_ms));
+        cfg.queue_capacity = self.queue_capacity;
+        cfg.deadline = self.deadline_ms.map(SimDuration::from_millis);
+        cfg.sentinel = self.sentinel_rate.map(SentinelConfig::standard);
+        cfg.watchdog = self.watchdog.then(WatchdogConfig::default);
+        cfg.faults = self.faults.clone();
+        cfg
+    }
+}
+
+/// Warmup span prepended to every fuzz case, milliseconds.
+pub const WARMUP_MS: u64 = 20;
+
+impl Serialize for FuzzCase {
+    fn to_value(&self) -> serde::Value {
+        let models: Vec<String> = self.models.iter().map(|m| m.name().to_string()).collect();
+        serde::Value::Object(vec![
+            ("seed".to_string(), self.seed.to_value()),
+            ("policy".to_string(), self.policy.to_string().to_value()),
+            ("models".to_string(), models.to_value()),
+            ("rps_per_worker".to_string(), self.rps_per_worker.to_value()),
+            ("duration_ms".to_string(), self.duration_ms.to_value()),
+            ("queue_capacity".to_string(), self.queue_capacity.to_value()),
+            ("deadline_ms".to_string(), self.deadline_ms.to_value()),
+            ("sentinel_rate".to_string(), self.sentinel_rate.to_value()),
+            ("watchdog".to_string(), self.watchdog.to_value()),
+            ("faults".to_string(), self.faults.to_value()),
+        ])
+    }
+}
+
+impl<'de> Deserialize<'de> for FuzzCase {
+    fn from_value(v: &serde::Value) -> Result<FuzzCase, serde::de::Error> {
+        let policy_name: String = serde::de::field(v, "policy")?;
+        let policy = Policy::from_str(&policy_name)
+            .map_err(|_| serde::de::Error::custom(format!("unknown policy `{policy_name}`")))?;
+        let model_names: Vec<String> = serde::de::field(v, "models")?;
+        let models = model_names
+            .iter()
+            .map(|n| {
+                ModelKind::from_str(n)
+                    .map_err(|_| serde::de::Error::custom(format!("unknown model `{n}`")))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(FuzzCase {
+            seed: serde::de::field(v, "seed")?,
+            policy,
+            models,
+            rps_per_worker: serde::de::field(v, "rps_per_worker")?,
+            duration_ms: serde::de::field(v, "duration_ms")?,
+            queue_capacity: serde::de::field(v, "queue_capacity")?,
+            deadline_ms: serde::de::field(v, "deadline_ms")?,
+            sentinel_rate: serde::de::field(v, "sentinel_rate")?,
+            watchdog: serde::de::field(v, "watchdog")?,
+            faults: serde::de::field(v, "faults")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let gen = GenConfig { smoke: true };
+        let a = FuzzCase::generate(42, &gen);
+        let b = FuzzCase::generate(42, &gen);
+        assert_eq!(a, b);
+        let c = FuzzCase::generate(43, &gen);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let gen = GenConfig { smoke: false };
+        for seed in [0u64, 7, 99, 12345] {
+            let case = FuzzCase::generate(seed, &gen);
+            let json = serde_json::to_string_pretty(&case).expect("serialize");
+            let back: FuzzCase = serde_json::from_str(&json).expect("deserialize");
+            assert_eq!(back, case, "round trip for seed {seed}");
+        }
+    }
+
+    #[test]
+    fn lowering_arms_requested_guardrails() {
+        let case = FuzzCase {
+            seed: 1,
+            policy: Policy::KrispI,
+            models: vec![ModelKind::Squeezenet],
+            rps_per_worker: 100.0,
+            duration_ms: 100,
+            queue_capacity: Some(8),
+            deadline_ms: Some(25),
+            sentinel_rate: Some(120.0),
+            watchdog: true,
+            faults: FaultPlan::new(),
+        };
+        let cfg = case.to_server_config();
+        assert_eq!(cfg.queue_capacity, Some(8));
+        assert!(cfg.sentinel.is_some());
+        assert!(cfg.watchdog.is_some());
+        assert_eq!(cfg.deadline, Some(SimDuration::from_millis(25)));
+    }
+}

@@ -1,0 +1,197 @@
+//! Invariant oracles: what must hold for *every* fuzz case.
+//!
+//! The oracles deliberately check end-to-end properties of the whole
+//! serving stack rather than unit-level behavior:
+//!
+//! 1. **Flow conservation** — every arrival is accounted for exactly
+//!    once: admitted or shed at admission, and every admitted request
+//!    completes, is CoDel-shed, times out, fails, or is still in flight
+//!    at the horizon ([`krisp_server::FlowCounters::conserved`]). A
+//!    lost or duplicated request breaks the identity.
+//! 2. **Monotone simulation time** — observability events drain in
+//!    non-decreasing timestamp order; time never runs backwards.
+//! 3. **Valid sentinel transitions** — the brownout state machine only
+//!    moves one step at a time (Normal↔Brownout↔Shed).
+//! 4. **Determinism** — the same case replayed produces a bit-identical
+//!    serialized result, with or without observability attached.
+//! 5. **Progress** — a fault-free case that admits work completes work;
+//!    in particular the Shed state must never deadlock the server.
+
+use std::fmt;
+
+use krisp_obs::{EventKind, Obs};
+use krisp_server::{oracle_perfdb, run_server, run_server_observed};
+
+use crate::case::FuzzCase;
+
+/// One invariant violation, with enough detail to triage from the
+/// reproducer file alone.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// The request-flow books do not balance.
+    Conservation {
+        /// The offending counters, debug-printed.
+        detail: String,
+    },
+    /// Two runs of the same case diverged.
+    NonDeterministic {
+        /// Which serialized field diverged first.
+        detail: String,
+    },
+    /// An observability event was emitted before its predecessor.
+    TimeRegression {
+        /// Timestamp of the earlier-drained event, nanoseconds.
+        prev_ns: u64,
+        /// The regressing timestamp, nanoseconds.
+        ts_ns: u64,
+    },
+    /// A fault-free case admitted work but completed nothing.
+    NoProgress {
+        /// How many requests were admitted and then stranded.
+        admitted: u64,
+    },
+    /// The brownout controller skipped a state.
+    InvalidTransition {
+        /// State code before the transition.
+        from: u32,
+        /// State code after.
+        to: u32,
+    },
+    /// Planted by tests to exercise the shrinker on a known trigger.
+    Synthetic {
+        /// What the synthetic oracle matched on.
+        detail: String,
+    },
+}
+
+impl Violation {
+    /// Stable short name for file names and CI summaries.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Violation::Conservation { .. } => "conservation",
+            Violation::NonDeterministic { .. } => "non_deterministic",
+            Violation::TimeRegression { .. } => "time_regression",
+            Violation::NoProgress { .. } => "no_progress",
+            Violation::InvalidTransition { .. } => "invalid_transition",
+            Violation::Synthetic { .. } => "synthetic",
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Conservation { detail } => write!(f, "flow books out of balance: {detail}"),
+            Violation::NonDeterministic { detail } => {
+                write!(f, "same-seed replay diverged: {detail}")
+            }
+            Violation::TimeRegression { prev_ns, ts_ns } => {
+                write!(f, "event time ran backwards: {prev_ns} -> {ts_ns}")
+            }
+            Violation::NoProgress { admitted } => {
+                write!(
+                    f,
+                    "{admitted} requests admitted, none completed (fault-free)"
+                )
+            }
+            Violation::InvalidTransition { from, to } => {
+                write!(f, "sentinel skipped a state: {from} -> {to}")
+            }
+            Violation::Synthetic { detail } => write!(f, "synthetic trigger: {detail}"),
+        }
+    }
+}
+
+/// Runs `case` through the full server stack and audits every oracle.
+/// Returns the first violation found, or `None` for a clean case.
+pub fn check_case(case: &FuzzCase) -> Option<Violation> {
+    let mut kinds = case.models.clone();
+    kinds.sort();
+    kinds.dedup();
+    let db = oracle_perfdb(&kinds, &[32]);
+    let cfg = case.to_server_config();
+
+    let (obs, sink) = Obs::recording(1 << 16);
+    let observed = run_server_observed(&cfg, &db, obs);
+    let events = sink.lock().expect("sink").drain();
+
+    // Oracle 2: monotone sim time across the drained event stream.
+    let mut prev = 0u64;
+    for e in &events {
+        if e.ts_ns < prev {
+            return Some(Violation::TimeRegression {
+                prev_ns: prev,
+                ts_ns: e.ts_ns,
+            });
+        }
+        prev = e.ts_ns;
+    }
+
+    // Oracle 3: the hysteresis machine moves one step at a time.
+    for e in &events {
+        if let EventKind::SentinelTransition { from, to, .. } = e.kind {
+            if from.abs_diff(to) != 1 {
+                return Some(Violation::InvalidTransition { from, to });
+            }
+        }
+    }
+
+    // Oracle 1: conservation over the independently tracked flow books.
+    let Some(flow) = observed.flow.as_ref() else {
+        return Some(Violation::Conservation {
+            detail: "run_server returned no flow counters".to_string(),
+        });
+    };
+    if !flow.conserved() {
+        return Some(Violation::Conservation {
+            detail: format!("{flow:?}"),
+        });
+    }
+
+    // Oracle 5: progress. Only asserted for fault-free cases — a
+    // straggler window can legitimately pin every kernel past the
+    // horizon — and the threshold keeps tiny windows out of scope.
+    if case.faults.is_empty() && flow.admitted >= 10 && flow.completed == 0 {
+        return Some(Violation::NoProgress {
+            admitted: flow.admitted,
+        });
+    }
+
+    // Oracle 4: bit-identical replay. The second run goes through the
+    // plain (observability-disabled) entry point, so this also proves
+    // recording is transparent to simulation results.
+    let replayed = run_server(&cfg, &db);
+    let a = serde_json::to_string(&observed).expect("serialize observed run");
+    let b = serde_json::to_string(&replayed).expect("serialize replayed run");
+    if a != b {
+        let at = a
+            .bytes()
+            .zip(b.bytes())
+            .position(|(x, y)| x != y)
+            .unwrap_or_else(|| a.len().min(b.len()));
+        let lo = at.saturating_sub(40);
+        return Some(Violation::NonDeterministic {
+            detail: format!(
+                "first divergence at byte {at}: ..{}..",
+                &a[lo..(at + 20).min(a.len())]
+            ),
+        });
+    }
+
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case::GenConfig;
+
+    #[test]
+    fn smoke_seeds_are_clean() {
+        let gen = GenConfig { smoke: true };
+        for seed in 0..4u64 {
+            let case = FuzzCase::generate(seed, &gen);
+            assert_eq!(check_case(&case), None, "seed {seed}: {case:?}");
+        }
+    }
+}

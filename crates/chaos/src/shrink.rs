@@ -1,0 +1,168 @@
+//! Greedy shrinking: reduce a failing case to a minimal reproducer.
+//!
+//! The shrinker is a fixpoint loop of structural simplifications, each
+//! accepted only if the supplied check still reports a violation. It is
+//! parameterized by the check function rather than hard-wired to
+//! [`crate::oracle::check_case`] so tests can drive it with synthetic
+//! oracles and assert minimality of the output. Because case execution
+//! and generation are deterministic, shrinking is too: the same failing
+//! case always shrinks to the same reproducer.
+
+use krisp_sim::FaultPlan;
+
+use crate::case::FuzzCase;
+use crate::oracle::Violation;
+
+/// Simplification passes applied per round, cheapest-win first.
+fn candidates(case: &FuzzCase) -> Vec<FuzzCase> {
+    let mut out = Vec::new();
+
+    // Drop one fault event at a time (the classic delta-debug step).
+    let events = case.faults.events();
+    for skip in 0..events.len() {
+        let mut plan = FaultPlan::new();
+        for (i, e) in events.iter().enumerate() {
+            if i != skip {
+                plan = plan.push(e.at, e.kind.clone());
+            }
+        }
+        out.push(FuzzCase {
+            faults: plan,
+            ..case.clone()
+        });
+    }
+
+    // Fewer workers.
+    if case.models.len() > 1 {
+        let mut fewer = case.clone();
+        fewer.models.pop();
+        out.push(fewer);
+    }
+
+    // Disarm optional machinery one knob at a time.
+    if case.queue_capacity.is_some() {
+        out.push(FuzzCase {
+            queue_capacity: None,
+            ..case.clone()
+        });
+    }
+    if case.deadline_ms.is_some() {
+        out.push(FuzzCase {
+            deadline_ms: None,
+            ..case.clone()
+        });
+    }
+    if case.sentinel_rate.is_some() {
+        out.push(FuzzCase {
+            sentinel_rate: None,
+            ..case.clone()
+        });
+    }
+    if case.watchdog {
+        out.push(FuzzCase {
+            watchdog: false,
+            ..case.clone()
+        });
+    }
+
+    // Shorter and lighter.
+    if case.duration_ms > 50 {
+        out.push(FuzzCase {
+            duration_ms: (case.duration_ms / 2).max(50),
+            ..case.clone()
+        });
+    }
+    if case.rps_per_worker > 20.0 {
+        out.push(FuzzCase {
+            rps_per_worker: (case.rps_per_worker / 2.0).max(10.0),
+            ..case.clone()
+        });
+    }
+
+    out
+}
+
+/// Shrinks `case` to a local minimum under `check`, returning the
+/// reduced case and the violation it still triggers.
+///
+/// `check` must report a violation for `case` itself; the function
+/// panics otherwise, because "shrink a passing case" is always a caller
+/// bug.
+pub fn shrink(
+    case: &FuzzCase,
+    check: &dyn Fn(&FuzzCase) -> Option<Violation>,
+) -> (FuzzCase, Violation) {
+    let mut best = case.clone();
+    let mut violation = check(&best).expect("shrink called on a case the check does not fail");
+    // Each accepted step strictly simplifies the case, so the loop
+    // terminates; the cap is a safety net against a cycling candidate.
+    for _ in 0..256 {
+        let mut improved = false;
+        for cand in candidates(&best) {
+            if let Some(v) = check(&cand) {
+                best = cand;
+                violation = v;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    (best, violation)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case::GenConfig;
+    use krisp_sim::FaultKind;
+
+    /// Synthetic oracle: "any stall_queue fault present" is a bug.
+    fn stall_present(case: &FuzzCase) -> Option<Violation> {
+        case.faults
+            .events()
+            .iter()
+            .any(|e| matches!(e.kind, FaultKind::StallQueue { .. }))
+            .then(|| Violation::Synthetic {
+                detail: "plan contains a stall_queue fault".to_string(),
+            })
+    }
+
+    #[test]
+    fn shrinks_to_single_trigger_event() {
+        // Find a generated case with >= 2 faults incl. a stall, so the
+        // shrinker has real work to do.
+        let gen = GenConfig { smoke: true };
+        let case = (0..200u64)
+            .map(|s| FuzzCase::generate(s, &gen))
+            .find(|c| c.faults.events().len() >= 2 && stall_present(c).is_some())
+            .expect("some seed under 200 yields a multi-fault case with a stall");
+
+        let (min, v) = shrink(&case, &stall_present);
+        assert_eq!(v.kind(), "synthetic");
+        // Minimal: exactly the one triggering event survives, and every
+        // optional knob is disarmed.
+        assert_eq!(min.faults.events().len(), 1, "{min:?}");
+        assert!(matches!(
+            min.faults.events()[0].kind,
+            FaultKind::StallQueue { .. }
+        ));
+        assert_eq!(min.models.len(), 1);
+        assert_eq!(min.queue_capacity, None);
+        assert_eq!(min.deadline_ms, None);
+        assert_eq!(min.sentinel_rate, None);
+        assert!(!min.watchdog);
+        // Deterministic: shrinking again lands on the same case.
+        let (again, _) = shrink(&case, &stall_present);
+        assert_eq!(again, min);
+    }
+
+    #[test]
+    #[should_panic(expected = "shrink called on a case")]
+    fn rejects_passing_case() {
+        let case = FuzzCase::generate(0, &GenConfig { smoke: true });
+        shrink(&case, &|_| None);
+    }
+}

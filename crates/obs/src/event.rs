@@ -215,6 +215,40 @@ pub enum EventKind {
         /// GPU index.
         gpu: u32,
     },
+    // ----- overload guardrails (PR 3, krisp-sentinel) -----
+    /// The sentinel's brownout state machine changed state.
+    SentinelTransition {
+        /// State left: 0 normal, 1 brownout, 2 shed.
+        from: u32,
+        /// State entered: 0 normal, 1 brownout, 2 shed.
+        to: u32,
+        /// Observed p95 latency over the sliding window, as a percentage
+        /// of the deadline (100 = exactly at the deadline).
+        p95_pct: u32,
+    },
+    /// A queued deadline-critical request was hedged to a second healthy
+    /// GPU (first copy to complete wins; the loser is lazily cancelled).
+    RequestHedged {
+        /// Cluster-wide request id.
+        request_id: u64,
+        /// Destination GPU index of the hedge copy.
+        to_gpu: u32,
+    },
+    /// A hedged request completed on the hedge copy before the original.
+    HedgeWon {
+        /// Cluster-wide request id.
+        request_id: u64,
+        /// GPU index the winning copy ran on.
+        gpu: u32,
+    },
+    /// The watchdog wanted to retry a kernel but the global retry budget
+    /// denied it (retry storms are capped at a fraction of successes).
+    RetryBudgetExhausted {
+        /// Hardware queue index.
+        queue: u32,
+        /// Host correlation tag of the abandoned kernel.
+        tag: u64,
+    },
 }
 
 impl EventKind {
@@ -245,6 +279,10 @@ impl EventKind {
             EventKind::WorkerHealth { .. } => "worker_health",
             EventKind::BreakerTripped { .. } => "breaker_tripped",
             EventKind::BreakerReset { .. } => "breaker_reset",
+            EventKind::SentinelTransition { .. } => "sentinel_transition",
+            EventKind::RequestHedged { .. } => "request_hedged",
+            EventKind::HedgeWon { .. } => "hedge_won",
+            EventKind::RetryBudgetExhausted { .. } => "retry_budget_exhausted",
         }
     }
 }

@@ -228,7 +228,11 @@ pub fn chrome_trace(events: &[Event], cus_per_se: u16) -> String {
             | EventKind::RequestRetried { .. }
             | EventKind::WorkerHealth { .. }
             | EventKind::BreakerTripped { .. }
-            | EventKind::BreakerReset { .. }) => {
+            | EventKind::BreakerReset { .. }
+            | EventKind::SentinelTransition { .. }
+            | EventKind::RequestHedged { .. }
+            | EventKind::HedgeWon { .. }
+            | EventKind::RetryBudgetExhausted { .. }) => {
                 let (pid, args) = match kind {
                     EventKind::CusFailed { total_failed, .. } => {
                         (event.worker, format!("{{\"total_failed\":{total_failed}}}"))
@@ -299,6 +303,20 @@ pub fn chrome_trace(events: &[Event], cus_per_se: u16) -> String {
                     }
                     EventKind::BreakerTripped { gpu } | EventKind::BreakerReset { gpu } => {
                         (*gpu, "{}".to_string())
+                    }
+                    EventKind::SentinelTransition { from, to, p95_pct } => (
+                        event.worker,
+                        format!("{{\"from\":{from},\"to\":{to},\"p95_pct\":{p95_pct}}}"),
+                    ),
+                    EventKind::RequestHedged { request_id, to_gpu } => (
+                        event.worker,
+                        format!("{{\"request\":{request_id},\"to_gpu\":{to_gpu}}}"),
+                    ),
+                    EventKind::HedgeWon { request_id, gpu } => {
+                        (*gpu, format!("{{\"request\":{request_id}}}"))
+                    }
+                    EventKind::RetryBudgetExhausted { queue, tag } => {
+                        (*queue, format!("{{\"tag\":{tag}}}"))
                     }
                     _ => unreachable!("outer arm restricts the kinds"),
                 };

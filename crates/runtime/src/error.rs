@@ -52,6 +52,15 @@ pub enum KrispError {
         /// Attempts made (initial run + retries).
         attempts: u32,
     },
+    /// The watchdog wanted to retry a kernel but the global retry budget
+    /// denied it (too many retries per success in the window); the
+    /// kernel was abandoned to avoid a retry storm.
+    RetryBudgetExhausted {
+        /// The affected stream/queue index.
+        stream: u32,
+        /// The client's correlation tag.
+        tag: u64,
+    },
     /// A bounded request queue was full and the request was shed.
     QueueFull {
         /// The rejected request's id.
@@ -93,6 +102,7 @@ impl KrispError {
             KrispError::StalePerfDbEntry { .. } => "perfdb_stale",
             KrispError::MaskApply { .. } => "mask_apply",
             KrispError::KernelTimeout { .. } => "kernel_timeout",
+            KrispError::RetryBudgetExhausted { .. } => "retry_budget_exhausted",
             KrispError::QueueFull { .. } => "queue_full",
             KrispError::DeadlineExceeded { .. } => "deadline_exceeded",
             KrispError::WorkerUnhealthy { .. } => "worker_unhealthy",
@@ -130,6 +140,10 @@ impl fmt::Display for KrispError {
                 f,
                 "kernel tag {tag} on stream{stream} abandoned after {attempts} \
                  watchdog timeouts"
+            ),
+            KrispError::RetryBudgetExhausted { stream, tag } => write!(
+                f,
+                "kernel tag {tag} on stream{stream} abandoned: retry budget exhausted"
             ),
             KrispError::QueueFull { request_id, depth } => {
                 write!(f, "request {request_id} shed: queue full at depth {depth}")

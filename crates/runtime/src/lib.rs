@@ -41,12 +41,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod error;
 pub mod perfdb;
 pub mod runtime;
 
+pub use budget::{RetryBudget, RetryBudgetConfig};
 pub use error::KrispError;
 pub use perfdb::RequiredCusTable;
 pub use runtime::{
-    EmulationCosts, PartitionMode, RtEvent, Runtime, RuntimeConfig, StreamId, WatchdogConfig,
+    EmulationCosts, MaskWidening, PartitionMode, RtEvent, Runtime, RuntimeConfig, StreamId,
+    WatchdogConfig,
 };

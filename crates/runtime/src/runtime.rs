@@ -11,6 +11,7 @@ use krisp_sim::{
     MaskAllocator, PowerModel, QueueId, SignalId, SimDuration, SimEvent, SimTime,
 };
 
+use crate::budget::{RetryBudget, RetryBudgetConfig};
 use crate::error::KrispError;
 use crate::perfdb::RequiredCusTable;
 
@@ -158,6 +159,9 @@ pub struct RuntimeConfig {
     /// [`WatchdogConfig::default`]'s budget when no watchdog is set),
     /// since the alternative was a panic.
     pub watchdog: Option<WatchdogConfig>,
+    /// Global retry budget gating watchdog retries; `None` (the default)
+    /// leaves retries bounded only by [`WatchdogConfig::max_retries`].
+    pub retry_budget: Option<RetryBudgetConfig>,
 }
 
 impl Default for RuntimeConfig {
@@ -175,6 +179,7 @@ impl Default for RuntimeConfig {
             obs: Obs::disabled(),
             faults: FaultPlan::new(),
             watchdog: None,
+            retry_budget: None,
         }
     }
 }
@@ -189,6 +194,7 @@ impl fmt::Debug for RuntimeConfig {
             .field("jitter_sigma", &self.jitter_sigma)
             .field("faults", &self.faults.events().len())
             .field("watchdog", &self.watchdog)
+            .field("retry_budget", &self.retry_budget)
             .finish_non_exhaustive()
     }
 }
@@ -244,6 +250,38 @@ pub enum RtEvent {
         /// Why it was abandoned.
         error: KrispError,
     },
+}
+
+/// How much slack the runtime adds on top of the perfdb right-size —
+/// the sentinel's brownout lever. Under overload the server deliberately
+/// *widens* kernel partitions toward stream-scoped/full-device masks,
+/// trading KRISP's packing efficiency for latency headroom, then narrows
+/// back to [`MaskWidening::None`] once headroom recovers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MaskWidening {
+    /// Exact right-sizing (KRISP's normal operating point).
+    #[default]
+    None,
+    /// Scale the right-size by a percentage ≥ 100, capped at the full
+    /// device (150 = grant 1.5× the profiled minimum).
+    Factor(u32),
+    /// Grant every kernel the full device (equivalent to the MPS-default
+    /// partition while it lasts).
+    FullDevice,
+}
+
+impl MaskWidening {
+    /// Applies the widening to a right-sized CU count.
+    pub fn apply(&self, required: u16, total: u16) -> u16 {
+        match self {
+            MaskWidening::None => required,
+            MaskWidening::Factor(pct) => {
+                let widened = (u32::from(required) * pct) / 100;
+                (widened.min(u32::from(total))) as u16
+            }
+            MaskWidening::FullDevice => total,
+        }
+    }
 }
 
 /// Tokens/tags with this bit set are reserved for the runtime's internal
@@ -329,6 +367,10 @@ pub struct Runtime {
     stream_fallback: HashSet<QueueId>,
     /// Degradations recorded instead of panicking.
     errors: Vec<KrispError>,
+    /// Sliding-window retry budget (when configured).
+    retry_budget: Option<RetryBudget>,
+    /// Brownout widening applied on top of every right-size lookup.
+    widening: MaskWidening,
 }
 
 impl fmt::Debug for Runtime {
@@ -396,6 +438,8 @@ impl Runtime {
             mask_retry: HashMap::new(),
             stream_fallback: HashSet::new(),
             errors: Vec::new(),
+            retry_budget: config.retry_budget.map(RetryBudget::new),
+            widening: MaskWidening::None,
         }
     }
 
@@ -471,6 +515,26 @@ impl Runtime {
     /// Drains the recorded degradations (for surfacing in run results).
     pub fn take_errors(&mut self) -> Vec<KrispError> {
         std::mem::take(&mut self.errors)
+    }
+
+    /// Sets the brownout widening applied on top of every subsequent
+    /// right-size lookup (the sentinel's lever; [`MaskWidening::None`]
+    /// restores exact right-sizing).
+    pub fn set_mask_widening(&mut self, widening: MaskWidening) {
+        self.widening = widening;
+    }
+
+    /// The currently applied brownout widening.
+    pub fn mask_widening(&self) -> MaskWidening {
+        self.widening
+    }
+
+    /// Watchdog retries granted and denied by the retry budget so far
+    /// (`(0, 0)` when no budget is configured).
+    pub fn retry_budget_counters(&self) -> (u64, u64) {
+        self.retry_budget
+            .as_ref()
+            .map_or((0, 0), |b| (b.granted(), b.denied()))
     }
 
     /// Streams that fell back from kernel-scoped emulation to
@@ -565,7 +629,7 @@ impl Runtime {
     /// entry (recorded as a [`KrispError::StalePerfDbEntry`]).
     fn right_size(&mut self, kernel: &KernelDesc) -> u16 {
         let total = self.machine.topology().total_cus();
-        match self.perfdb.lookup_validated(kernel, total) {
+        let sized = match self.perfdb.lookup_validated(kernel, total) {
             Ok(Some(cus)) => cus,
             Ok(None) => total,
             Err(e) => {
@@ -573,7 +637,8 @@ impl Runtime {
                 self.errors.push(e);
                 total
             }
-        }
+        };
+        self.widening.apply(sized, total)
     }
 
     /// Registers a client timer.
@@ -630,6 +695,9 @@ impl Runtime {
                 }
                 SimEvent::KernelCompleted { queue, tag, at } => {
                     self.disarm_watchdog(queue, tag);
+                    if let Some(budget) = self.retry_budget.as_mut() {
+                        budget.record_success(at);
+                    }
                     return Some(RtEvent::KernelCompleted {
                         stream: queue.into(),
                         tag,
@@ -787,21 +855,42 @@ impl Runtime {
                 expected_ns: arm.expected.as_nanos(),
             });
         self.obs.metrics.inc("krisp_kernel_timeouts_total", &[], 1);
+        // The retry budget is evaluated lazily here rather than via its
+        // own timer (the 2-bit internal-token kind field is full). Window
+        // expiry deterministically precedes the allowance check when both
+        // land on this tick — see `budget` module docs for the tie-break.
+        let mut budget_denied = false;
         if attempts <= wd.max_retries {
-            self.obs.bus.emit(at.as_nanos(), || EventKind::KernelRetry {
-                queue: arm.queue.0,
-                tag: arm.tag,
-                attempt: attempts,
-            });
-            self.obs.metrics.inc("krisp_kernel_retries_total", &[], 1);
-            self.machine
-                .push_packet_front(arm.queue, AqlPacket::Dispatch(packet));
-            // The queue stays held until the backoff elapses; attempt n
-            // backs off n × the base.
-            let token = self.next_internal_token(KIND_RELEASE);
-            self.wd_release.insert(token, arm.queue);
-            self.machine.add_timer(wd.backoff * attempts as u64, token);
-            return None;
+            let granted = match self.retry_budget.as_mut() {
+                Some(budget) => budget.try_spend(at),
+                None => true,
+            };
+            if granted {
+                self.obs.bus.emit(at.as_nanos(), || EventKind::KernelRetry {
+                    queue: arm.queue.0,
+                    tag: arm.tag,
+                    attempt: attempts,
+                });
+                self.obs.metrics.inc("krisp_kernel_retries_total", &[], 1);
+                self.machine
+                    .push_packet_front(arm.queue, AqlPacket::Dispatch(packet));
+                // The queue stays held until the backoff elapses; attempt n
+                // backs off n × the base.
+                let token = self.next_internal_token(KIND_RELEASE);
+                self.wd_release.insert(token, arm.queue);
+                self.machine.add_timer(wd.backoff * attempts as u64, token);
+                return None;
+            }
+            budget_denied = true;
+            self.obs
+                .bus
+                .emit(at.as_nanos(), || EventKind::RetryBudgetExhausted {
+                    queue: arm.queue.0,
+                    tag: arm.tag,
+                });
+            self.obs
+                .metrics
+                .inc("krisp_retry_budget_denied_total", &[], 1);
         }
         self.obs
             .bus
@@ -817,10 +906,17 @@ impl Runtime {
         self.launched.remove(&key);
         // Drop the packet and let the rest of the stream continue.
         self.machine.release_queue(arm.queue);
-        let error = KrispError::KernelTimeout {
-            stream: arm.queue.0,
-            tag: arm.tag,
-            attempts,
+        let error = if budget_denied {
+            KrispError::RetryBudgetExhausted {
+                stream: arm.queue.0,
+                tag: arm.tag,
+            }
+        } else {
+            KrispError::KernelTimeout {
+                stream: arm.queue.0,
+                tag: arm.tag,
+                attempts,
+            }
         };
         self.errors.push(error.clone());
         Some(RtEvent::KernelFailed {
@@ -1274,6 +1370,121 @@ mod tests {
             KrispError::StalePerfDbEntry { profiled: 999, .. }
         ));
         assert!(rt.errors().is_empty());
+    }
+
+    #[test]
+    fn retry_budget_denial_abandons_with_typed_error() {
+        // A permanent straggler with a generous per-kernel retry cap but
+        // a tiny global budget: the first retry is granted by the floor,
+        // the second is denied, and the kernel is abandoned with the
+        // budget-specific error (not a plain timeout).
+        let mut rt = Runtime::new(RuntimeConfig {
+            faults: FaultPlan::new().straggle_all(
+                SimTime::ZERO,
+                1000.0,
+                SimDuration::from_millis(100),
+            ),
+            watchdog: Some(WatchdogConfig {
+                multiplier: 2.0,
+                min_timeout: SimDuration::from_micros(5),
+                max_retries: 10,
+                backoff: SimDuration::from_micros(5),
+            }),
+            retry_budget: Some(RetryBudgetConfig {
+                ratio: 0.0,
+                window: SimDuration::from_secs(1),
+                min_retries: 1,
+            }),
+            ..RuntimeConfig::default()
+        });
+        let s = rt.create_stream();
+        rt.launch(s, kernel(1.0e6, 60), 4);
+        let evs = rt.run_to_idle();
+        let failed: Vec<_> = evs
+            .iter()
+            .filter_map(|e| match e {
+                RtEvent::KernelFailed { error, .. } => Some(error.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(failed.len(), 1);
+        assert!(matches!(
+            failed[0],
+            KrispError::RetryBudgetExhausted { tag: 4, .. }
+        ));
+        assert_eq!(rt.retry_budget_counters(), (1, 1));
+    }
+
+    #[test]
+    fn retry_budget_without_pressure_is_bit_identical() {
+        // Same-seed regression for the budget wiring (and the
+        // expiry-before-check tie-break): with no faults the budget only
+        // records successes, so enabling it must not perturb a single
+        // bit of the execution.
+        let run = |budget: Option<RetryBudgetConfig>| {
+            let mut rt = Runtime::new(RuntimeConfig {
+                jitter_sigma: 0.05,
+                watchdog: Some(WatchdogConfig::default()),
+                retry_budget: budget,
+                ..RuntimeConfig::default()
+            });
+            let s = rt.create_stream();
+            for i in 0..8 {
+                rt.launch(s, kernel(2.0e6, 30), i);
+            }
+            let evs = rt.run_to_idle();
+            (rt.now(), rt.energy_joules().to_bits(), evs)
+        };
+        assert_eq!(run(None), run(Some(RetryBudgetConfig::default())));
+        // And the budget path itself replays bit-identically.
+        assert_eq!(
+            run(Some(RetryBudgetConfig::default())),
+            run(Some(RetryBudgetConfig::default()))
+        );
+    }
+
+    #[test]
+    fn mask_widening_widens_then_narrows_back() {
+        #[derive(Debug)]
+        struct FirstN;
+        impl MaskAllocator for FirstN {
+            fn allocate(
+                &mut self,
+                requested: u16,
+                _c: &CuKernelCounters,
+                topo: &GpuTopology,
+            ) -> CuMask {
+                CuMask::first_n(requested, topo)
+            }
+        }
+        let mut config = RuntimeConfig {
+            mode: PartitionMode::KernelScopedNative,
+            allocator: Box::new(FirstN),
+            ..RuntimeConfig::default()
+        };
+        let k = kernel(1.0e6, 60);
+        config.perfdb.insert(&k, 10);
+        let mut rt = Runtime::new(config);
+        let s = rt.create_stream();
+        rt.launch(s, k.clone(), 0);
+        rt.set_mask_widening(MaskWidening::Factor(200));
+        rt.launch(s, k.clone(), 1);
+        rt.set_mask_widening(MaskWidening::FullDevice);
+        rt.launch(s, k.clone(), 2);
+        rt.set_mask_widening(MaskWidening::None);
+        rt.launch(s, k, 3);
+        let evs = rt.run_to_idle();
+        let masks: Vec<u16> = evs
+            .iter()
+            .filter_map(|e| match e {
+                RtEvent::KernelStarted { mask, .. } => Some(mask.count()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(masks, vec![10, 20, 60, 10]);
+        // Factor widening saturates at the device size.
+        assert_eq!(MaskWidening::Factor(900).apply(10, 60), 60);
+        assert_eq!(MaskWidening::Factor(100).apply(10, 60), 10);
     }
 
     #[test]

@@ -22,7 +22,8 @@
 //! downtime. Per-request deadlines get one retry on another GPU before
 //! the request is dropped.
 
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -35,6 +36,8 @@ use krisp_runtime::{
 };
 use krisp_sim::stats::percentile;
 use krisp_sim::{CuMask, FaultPlan, GpuTopology, KernelDesc, SimDuration, SimTime};
+
+use crate::request::{RequestQueue, Sojourn};
 
 /// How the front-end picks a GPU for an arriving request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,6 +94,21 @@ impl Default for BreakerConfig {
     }
 }
 
+/// Hedged dispatch of straggling requests.
+///
+/// A request that has neither completed nor been dropped `delay` after
+/// its arrival gets a second copy dispatched to another healthy GPU.
+/// The first copy to complete wins; the loser is cancelled on sight
+/// (dropped from its queue, or its completion discarded) and never
+/// double-counted.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HedgeConfig {
+    /// How long a request may straggle before it is hedged. Pick this
+    /// near the deadline minus one service time, so only
+    /// deadline-critical requests pay the duplicate work.
+    pub delay: SimDuration,
+}
+
 /// A scripted whole-GPU crash (the worker process dies and restarts).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CrashScript {
@@ -136,6 +154,8 @@ pub struct ClusterConfig {
     pub breaker: Option<BreakerConfig>,
     /// Scripted whole-GPU crash.
     pub crash: Option<CrashScript>,
+    /// Hedged dispatch of stragglers (`None` disables hedging).
+    pub hedge: Option<HedgeConfig>,
 }
 
 impl ClusterConfig {
@@ -157,6 +177,7 @@ impl ClusterConfig {
             deadline: None,
             breaker: None,
             crash: None,
+            hedge: None,
         }
     }
 }
@@ -178,6 +199,11 @@ pub struct ClusterRobustness {
     pub breaker_trips: u32,
     /// Scripted crashes that fired.
     pub crashes: u32,
+    /// Straggling requests that got a hedge copy dispatched.
+    pub hedged: u64,
+    /// Hedged requests whose winning copy was one of the two (always
+    /// `<= hedged`; the difference died on both legs).
+    pub hedge_wins: u64,
     /// Runtime degradations across GPUs, stringified.
     pub errors: Vec<String>,
 }
@@ -202,8 +228,33 @@ pub struct ClusterResult {
     pub per_gpu: Vec<usize>,
     /// Total energy across GPUs, joules.
     pub energy_j: f64,
+    /// Requests that arrived at the front-end over the horizon.
+    pub arrivals: u64,
+    /// Requests that completed *after* the horizon while the backlog
+    /// drained (excluded from `completed`/`rps` to keep throughput
+    /// honest).
+    pub drained: u64,
+    /// Distinct unresolved requests still queued or in flight when the
+    /// run ended.
+    pub leftover: u64,
     /// Degradation counters.
     pub robustness: ClusterRobustness,
+}
+
+impl ClusterResult {
+    /// Conservation check: every arrival is accounted for exactly once —
+    /// completed (in-window or drained), shed, timed out, failed, or
+    /// still unresolved at the end. Hedge copies never create or destroy
+    /// a request, so this holds with hedging on or off.
+    pub fn conserved(&self) -> bool {
+        self.arrivals
+            == self.completed as u64
+                + self.drained
+                + self.leftover
+                + self.robustness.shed
+                + self.robustness.timed_out
+                + self.robustness.failed_requests
+    }
 }
 
 /// A request waiting at (or running on) a GPU worker.
@@ -217,6 +268,59 @@ struct QueuedReq {
     retried: bool,
 }
 
+impl Sojourn for QueuedReq {
+    fn enqueued_at(&self) -> SimTime {
+        self.enqueued
+    }
+}
+
+/// A scheduled hedge check, min-ordered by fire time: (fire time,
+/// request id, model index, primary GPU, original arrival).
+type HedgeEntry = Reverse<(SimTime, u64, usize, usize, SimTime)>;
+
+/// First-wins bookkeeping for hedged requests.
+#[derive(Default)]
+struct HedgeState {
+    /// Pending hedge checks, earliest fire time first.
+    pending: BinaryHeap<HedgeEntry>,
+    /// Requests already settled (first copy completed, or last live copy
+    /// dropped). Later copies of these ids are cancelled on sight.
+    done: HashSet<u64>,
+    /// Live copy count per *hedged* request id (unhedged ids are absent
+    /// and implicitly have one copy).
+    live: HashMap<u64, u32>,
+}
+
+impl HedgeState {
+    /// Settles a copy's completion: `None` if this copy already lost the
+    /// race (discard it), `Some(was_hedged)` if it wins the request.
+    fn settle_completion(&mut self, id: u64) -> Option<bool> {
+        if !self.done.insert(id) {
+            return None;
+        }
+        Some(self.live.remove(&id).is_some())
+    }
+
+    /// Settles a copy's drop/failure: true when this was the request's
+    /// last live copy, i.e. the negative outcome should be counted.
+    fn settle_negative(&mut self, id: u64) -> bool {
+        if self.done.contains(&id) {
+            return false;
+        }
+        match self.live.get_mut(&id) {
+            Some(n) if *n > 1 => {
+                *n -= 1;
+                false
+            }
+            _ => {
+                self.live.remove(&id);
+                self.done.insert(id);
+                true
+            }
+        }
+    }
+}
+
 struct GpuWorker {
     stream: krisp_runtime::StreamId,
     trace_len: usize,
@@ -225,7 +329,7 @@ struct GpuWorker {
     /// so completions of runs discarded by a crash are not misattributed.
     inflight_base: u64,
     launched_runs: u64,
-    queue: std::collections::VecDeque<QueuedReq>,
+    queue: RequestQueue<QueuedReq>,
     outstanding: usize,
 }
 
@@ -341,7 +445,9 @@ pub fn run_cluster_observed(
                     inflight: None,
                     inflight_base: 0,
                     launched_runs: 0,
-                    queue: Default::default(),
+                    queue: config
+                        .queue_capacity
+                        .map_or_else(RequestQueue::new, RequestQueue::bounded),
                     outstanding: 0,
                 })
                 .collect();
@@ -387,6 +493,7 @@ pub fn run_cluster_observed(
         .map(|(id, (t, mi))| (t, mi, id as u64))
         .collect();
     arrivals.reverse();
+    let total_arrivals = arrivals.len() as u64;
 
     // --- Conservative multi-machine event loop -------------------------
     let horizon_end = SimTime::ZERO + config.horizon;
@@ -394,19 +501,41 @@ pub fn run_cluster_observed(
     let mut latencies_ms: Vec<f64> = Vec::new();
     let mut per_gpu = vec![0usize; config.gpus];
     let mut pending_crash = config.crash;
+    let mut hedge = HedgeState::default();
+    let mut drained = 0u64;
     loop {
         let next_gpu = (0..gpus.len())
             .filter_map(|i| gpus[i].rt.next_event_at().map(|t| (t, i)))
             .min();
         let next_arrival = arrivals.last().copied();
         let next_crash = pending_crash.map(|c| c.at);
-        // The crash is applied before any same-instant arrival or GPU
-        // event, so routing at that instant already avoids the dead GPU.
+        let next_hedge = hedge.pending.peek().map(|Reverse((t, ..))| *t);
+        // The crash is applied before any same-instant arrival, hedge, or
+        // GPU event, so routing at that instant already avoids the dead
+        // GPU.
         if let Some(tc) = next_crash {
-            let others = [next_gpu.map(|(t, _)| t), next_arrival.map(|(t, ..)| t)];
+            let others = [
+                next_gpu.map(|(t, _)| t),
+                next_arrival.map(|(t, ..)| t),
+                next_hedge,
+            ];
             if others.iter().flatten().all(|&t| tc <= t) {
                 let crash = pending_crash.take().expect("checked above");
-                apply_crash(&mut gpus, &crash, config, &mut rob);
+                apply_crash(&mut gpus, &crash, &mut rob, &mut hedge);
+                continue;
+            }
+        }
+        // Hedge checks fire before same-instant arrivals/GPU events (a
+        // fixed tie-break so same-seed runs replay identically).
+        if let Some(th) = next_hedge {
+            let others = [next_gpu.map(|(t, _)| t), next_arrival.map(|(t, ..)| t)];
+            if others.iter().flatten().all(|&t| th <= t) {
+                let Some(Reverse((at, id, mi, primary, arrival))) = hedge.pending.pop() else {
+                    continue;
+                };
+                fire_hedge(
+                    &mut gpus, id, mi, primary, arrival, at, &mut rob, &mut hedge,
+                );
                 continue;
             }
         }
@@ -448,16 +577,23 @@ pub fn run_cluster_observed(
                 enqueued: ta,
                 retried: false,
             };
-            enqueue(&mut gpus[gi], mi, req, ta, config, &mut rob);
+            let admitted = enqueue(&mut gpus[gi], mi, req, ta);
+            if admitted {
+                if let Some(h) = config.hedge {
+                    hedge.pending.push(Reverse((ta + h.delay, id, mi, gi, ta)));
+                }
+            }
         } else {
             let (_, gi) = next_gpu.expect("checked above");
             match gpus[gi].rt.step() {
                 Some(RtEvent::TimerFired { token, at }) if token == TOKEN_RESTART => {
-                    finish_restart(&mut gpus, gi, at, config, &masks, &traces, &mut rob);
+                    finish_restart(
+                        &mut gpus, gi, at, config, &masks, &traces, &mut rob, &mut hedge,
+                    );
                 }
                 Some(RtEvent::TimerFired { token, at }) => {
                     let mi = token as usize;
-                    try_start(&mut gpus, gi, mi, at, config, &traces, &mut rob);
+                    try_start(&mut gpus, gi, mi, at, config, &traces, &mut rob, &mut hedge);
                 }
                 Some(RtEvent::KernelCompleted { stream, tag, at }) => {
                     let mi = gpus[gi].stream_to_worker[&stream];
@@ -468,13 +604,32 @@ pub fn run_cluster_observed(
                     if let Some(req) = done {
                         w.inflight = None;
                         w.outstanding -= 1;
-                        // Only completions inside the horizon count: the
-                        // post-horizon backlog drain would inflate
-                        // throughput beyond capacity.
+                        match hedge.settle_completion(req.id) {
+                            // A copy that lost the hedge race: discard.
+                            None => {}
+                            Some(was_hedged) => {
+                                if was_hedged {
+                                    rob.hedge_wins += 1;
+                                    gpus[gi].bus.emit(at.as_nanos(), || EventKind::HedgeWon {
+                                        request_id: req.id,
+                                        gpu: gi as u32,
+                                    });
+                                }
+                                // Only completions inside the horizon
+                                // count: the post-horizon backlog drain
+                                // would inflate throughput beyond
+                                // capacity.
+                                if at <= horizon_end {
+                                    latencies_ms
+                                        .push(at.saturating_since(req.arrival).as_millis_f64());
+                                    per_gpu[gi] += 1;
+                                } else {
+                                    drained += 1;
+                                }
+                            }
+                        }
                         if at <= horizon_end {
-                            latencies_ms.push(at.saturating_since(req.arrival).as_millis_f64());
-                            per_gpu[gi] += 1;
-                            try_start(&mut gpus, gi, mi, at, config, &traces, &mut rob);
+                            try_start(&mut gpus, gi, mi, at, config, &traces, &mut rob, &mut hedge);
                         }
                         maybe_begin_restart(&mut gpus[gi], gi, at, config);
                     }
@@ -488,23 +643,26 @@ pub fn run_cluster_observed(
                     let fatal = w
                         .inflight
                         .filter(|_| tag + 1 == w.inflight_base + w.trace_len as u64);
-                    if fatal.is_some() {
-                        // The request's final kernel died: the request is
-                        // lost, the worker moves on.
+                    if let Some(req) = fatal {
+                        // The request's final kernel died: this copy is
+                        // lost, the worker moves on. The request itself is
+                        // lost only if no hedge copy is still racing.
                         w.inflight = None;
                         w.outstanding -= 1;
-                        rob.failed_requests += 1;
+                        if hedge.settle_negative(req.id) {
+                            rob.failed_requests += 1;
+                        }
                     }
-                    note_failure(&mut gpus, gi, at, config, &mut rob);
+                    note_failure(&mut gpus, gi, at, config, &mut rob, &mut hedge);
                     if fatal.is_some() {
                         if gpus[gi].routable() && at <= horizon_end {
-                            try_start(&mut gpus, gi, mi, at, config, &traces, &mut rob);
+                            try_start(&mut gpus, gi, mi, at, config, &traces, &mut rob, &mut hedge);
                         }
                         maybe_begin_restart(&mut gpus[gi], gi, at, config);
                     }
                 }
                 Some(RtEvent::CusFailed { at, .. }) => {
-                    note_failure(&mut gpus, gi, at, config, &mut rob);
+                    note_failure(&mut gpus, gi, at, config, &mut rob, &mut hedge);
                 }
                 _ => {}
             }
@@ -515,6 +673,25 @@ pub fn run_cluster_observed(
         rob.errors
             .extend(gpu.rt.take_errors().iter().map(ToString::to_string));
     }
+    // S1: capacity sheds live in the queues themselves; aggregate them
+    // once here instead of counting at scattered call sites.
+    rob.shed = gpus
+        .iter()
+        .flat_map(|g| &g.workers)
+        .map(|w| w.queue.shed())
+        .sum();
+    // Distinct unresolved requests at the end of the run (hedge copies
+    // of settled requests are not unresolved, and two live copies of one
+    // request count once).
+    let mut seen = HashSet::new();
+    let mut leftover = 0u64;
+    for w in gpus.iter().flat_map(|g| &g.workers) {
+        for req in w.queue.iter().chain(w.inflight.iter()) {
+            if !hedge.done.contains(&req.id) && seen.insert(req.id) {
+                leftover += 1;
+            }
+        }
+    }
     let completed = latencies_ms.len();
     ClusterResult {
         completed,
@@ -522,8 +699,55 @@ pub fn run_cluster_observed(
         p95_ms: percentile(&latencies_ms, 95.0).unwrap_or(f64::NAN),
         per_gpu,
         energy_j: gpus.iter().map(|g| g.rt.energy_joules()).sum(),
+        arrivals: total_arrivals,
+        drained,
+        leftover,
         robustness: rob,
     }
+}
+
+/// A hedge timer fired: if the request is still unresolved, dispatch a
+/// second copy to the best other healthy GPU with queue room. The copy
+/// carries `retried: true` so it can never fan out further.
+#[allow(clippy::too_many_arguments)]
+fn fire_hedge(
+    gpus: &mut [Gpu],
+    id: u64,
+    mi: usize,
+    primary: usize,
+    arrival: SimTime,
+    now: SimTime,
+    rob: &mut ClusterRobustness,
+    hedge: &mut HedgeState,
+) {
+    if hedge.done.contains(&id) {
+        return; // already settled: nothing to protect
+    }
+    let Some(to) = route_least_outstanding(gpus, mi, Some(primary)) else {
+        return; // no second healthy GPU
+    };
+    if gpus[to].workers[mi]
+        .queue
+        .capacity()
+        .is_some_and(|cap| gpus[to].workers[mi].queue.len() >= cap)
+    {
+        return; // a hedge must not shed admitted work
+    }
+    hedge.live.insert(id, 2);
+    rob.hedged += 1;
+    gpus[primary]
+        .bus
+        .emit(now.as_nanos(), || EventKind::RequestHedged {
+            request_id: id,
+            to_gpu: to as u32,
+        });
+    let copy = QueuedReq {
+        id,
+        arrival,
+        enqueued: now,
+        retried: true,
+    };
+    enqueue(&mut gpus[to], mi, copy, now);
 }
 
 /// The stream masks a policy pins at startup (`None` for kernel-scoped
@@ -569,40 +793,34 @@ fn route_least_outstanding(gpus: &[Gpu], mi: usize, exclude: Option<usize>) -> O
         .min_by_key(|&g| gpus[g].workers[mi].outstanding)
 }
 
-/// Enqueues at a specific GPU, shedding when the bounded queue is full,
-/// and schedules the deferred start on the GPU's own timeline.
-fn enqueue(
-    gpu: &mut Gpu,
-    mi: usize,
-    req: QueuedReq,
-    now: SimTime,
-    config: &ClusterConfig,
-    rob: &mut ClusterRobustness,
-) {
+/// Enqueues at a specific GPU and schedules the deferred start on the
+/// GPU's own timeline. Returns false when the bounded queue shed the
+/// request (the queue's own shed counter is aggregated at the end of
+/// the run — the single source of truth for capacity sheds).
+fn enqueue(gpu: &mut Gpu, mi: usize, req: QueuedReq, now: SimTime) -> bool {
     let w = &mut gpu.workers[mi];
-    if config
-        .queue_capacity
-        .is_some_and(|cap| w.queue.len() >= cap)
-    {
-        rob.shed += 1;
+    let id = req.id;
+    if w.queue.push(req).is_err() {
         let depth = w.queue.len() as u32;
         gpu.bus.emit(now.as_nanos(), || EventKind::RequestShed {
-            request_id: req.id,
+            request_id: id,
             depth,
         });
-        return;
+        return false;
     }
     w.outstanding += 1;
-    w.queue.push_back(req);
     if w.inflight.is_none() && gpu.health != GpuHealth::Restarting {
         // Defer the actual launch into the GPU's own timeline.
         let delay = now.saturating_since(gpu.rt.now());
         gpu.rt.add_timer(delay, mi as u64);
     }
+    true
 }
 
-/// Starts the worker's next viable request: expired ones are retried on
-/// another GPU (once) or dropped; `Restarting` GPUs never start.
+/// Starts the worker's next viable request: copies that already lost a
+/// hedge race are cancelled, expired ones are retried on another GPU
+/// (once) or dropped; `Restarting` GPUs never start.
+#[allow(clippy::too_many_arguments)]
 fn try_start(
     gpus: &mut [Gpu],
     gi: usize,
@@ -611,18 +829,25 @@ fn try_start(
     config: &ClusterConfig,
     traces: &[Vec<KernelDesc>],
     rob: &mut ClusterRobustness,
+    hedge: &mut HedgeState,
 ) {
     if gpus[gi].workers[mi].inflight.is_some() || gpus[gi].health == GpuHealth::Restarting {
         return;
     }
     loop {
-        let Some(req) = gpus[gi].workers[mi].queue.pop_front() else {
+        let Some(req) = gpus[gi].workers[mi].queue.pop() else {
             return;
         };
+        if hedge.done.contains(&req.id) {
+            // A copy whose request was already settled elsewhere:
+            // first-wins cancel, no counter moves.
+            gpus[gi].workers[mi].outstanding -= 1;
+            continue;
+        }
         let waited = now.saturating_since(req.enqueued);
         if config.deadline.is_some_and(|d| waited > d) {
             gpus[gi].workers[mi].outstanding -= 1;
-            retry_or_drop(gpus, gi, mi, req, now, config, rob);
+            retry_or_drop(gpus, gi, mi, req, now, rob, hedge);
             continue;
         }
         let w = &mut gpus[gi].workers[mi];
@@ -639,29 +864,41 @@ fn try_start(
 }
 
 /// Moves a request whose deadline (or GPU) expired to another GPU; a
-/// request only gets one move before it is dropped.
+/// request only gets one move before it is dropped. The retry target
+/// must have queue room — a retry never sheds, so the capacity-shed
+/// counter stays a pure arrival count.
+#[allow(clippy::too_many_arguments)]
 fn retry_or_drop(
     gpus: &mut [Gpu],
     from: usize,
     mi: usize,
     mut req: QueuedReq,
     now: SimTime,
-    config: &ClusterConfig,
     rob: &mut ClusterRobustness,
+    hedge: &mut HedgeState,
 ) {
-    let target = route_least_outstanding(gpus, mi, Some(from));
+    let target = route_least_outstanding(gpus, mi, Some(from)).filter(|&g| {
+        gpus[g].workers[mi]
+            .queue
+            .capacity()
+            .is_none_or(|cap| gpus[g].workers[mi].queue.len() < cap)
+    });
     if req.retried || target.is_none() {
-        rob.timed_out += 1;
-        let waited = now.saturating_since(req.arrival);
-        gpus[from]
-            .bus
-            .emit(now.as_nanos(), || EventKind::RequestTimedOut {
-                request_id: req.id,
-                waited_ns: waited.as_nanos(),
-            });
+        if hedge.settle_negative(req.id) {
+            rob.timed_out += 1;
+            let waited = now.saturating_since(req.arrival);
+            gpus[from]
+                .bus
+                .emit(now.as_nanos(), || EventKind::RequestTimedOut {
+                    request_id: req.id,
+                    waited_ns: waited.as_nanos(),
+                });
+        }
         return;
     }
-    let to = target.expect("checked above");
+    let Some(to) = target else {
+        return;
+    };
     rob.retried += 1;
     gpus[from]
         .bus
@@ -671,7 +908,7 @@ fn retry_or_drop(
         });
     req.retried = true;
     req.enqueued = now; // fresh deadline budget on the new GPU
-    enqueue(&mut gpus[to], mi, req, now, config, rob);
+    enqueue(&mut gpus[to], mi, req, now);
 }
 
 /// Counts a failure toward the breaker, degrading and eventually
@@ -682,6 +919,7 @@ fn note_failure(
     now: SimTime,
     config: &ClusterConfig,
     rob: &mut ClusterRobustness,
+    hedge: &mut HedgeState,
 ) {
     gpus[gi].failures += 1;
     if gpus[gi].health == GpuHealth::Healthy {
@@ -702,7 +940,7 @@ fn note_failure(
             gpu: gi as u32,
         });
     gpus[gi].set_health(GpuHealth::Draining, gi, now);
-    redistribute_backlog(gpus, gi, now, config, rob);
+    redistribute_backlog(gpus, gi, now, rob, hedge);
     maybe_begin_restart(&mut gpus[gi], gi, now, config);
 }
 
@@ -711,13 +949,16 @@ fn redistribute_backlog(
     gpus: &mut [Gpu],
     gi: usize,
     now: SimTime,
-    config: &ClusterConfig,
     rob: &mut ClusterRobustness,
+    hedge: &mut HedgeState,
 ) {
     for mi in 0..gpus[gi].workers.len() {
-        while let Some(req) = gpus[gi].workers[mi].queue.pop_front() {
+        while let Some(req) = gpus[gi].workers[mi].queue.pop() {
             gpus[gi].workers[mi].outstanding -= 1;
-            retry_or_drop(gpus, gi, mi, req, now, config, rob);
+            if hedge.done.contains(&req.id) {
+                continue; // a copy that already lost its race
+            }
+            retry_or_drop(gpus, gi, mi, req, now, rob, hedge);
         }
     }
 }
@@ -739,27 +980,30 @@ fn maybe_begin_restart(gpu: &mut Gpu, gi: usize, now: SimTime, config: &ClusterC
 fn apply_crash(
     gpus: &mut [Gpu],
     crash: &CrashScript,
-    config: &ClusterConfig,
     rob: &mut ClusterRobustness,
+    hedge: &mut HedgeState,
 ) {
     let gi = crash.gpu;
     rob.crashes += 1;
     gpus[gi].set_health(GpuHealth::Restarting, gi, crash.at);
     for w in &mut gpus[gi].workers {
-        if w.inflight.take().is_some() {
+        if let Some(req) = w.inflight.take() {
             // The kernels keep draining in the dead GPU's simulation, but
             // the run is discarded: its completion must not be counted.
             w.outstanding -= 1;
-            rob.failed_requests += 1;
+            if hedge.settle_negative(req.id) {
+                rob.failed_requests += 1;
+            }
         }
     }
-    redistribute_backlog(gpus, gi, crash.at, config, rob);
+    redistribute_backlog(gpus, gi, crash.at, rob, hedge);
     let delay = crash.at.saturating_since(gpus[gi].rt.now()) + crash.down_for;
     gpus[gi].rt.add_timer(delay, TOKEN_RESTART);
 }
 
 /// Restart complete: re-warm the pinned stream masks, reset the breaker,
 /// and resume serving anything that queued up during the fallback.
+#[allow(clippy::too_many_arguments)]
 fn finish_restart(
     gpus: &mut [Gpu],
     gi: usize,
@@ -768,6 +1012,7 @@ fn finish_restart(
     masks: &Option<Vec<CuMask>>,
     traces: &[Vec<KernelDesc>],
     rob: &mut ClusterRobustness,
+    hedge: &mut HedgeState,
 ) {
     if let Some(masks) = masks {
         let gpu = &mut gpus[gi];
@@ -786,7 +1031,7 @@ fn finish_restart(
     }
     gpus[gi].set_health(GpuHealth::Healthy, gi, now);
     for mi in 0..gpus[gi].workers.len() {
-        try_start(gpus, gi, mi, now, config, traces, rob);
+        try_start(gpus, gi, mi, now, config, traces, rob, hedge);
     }
 }
 
@@ -1010,5 +1255,93 @@ mod tests {
         assert!(r.robustness.shed > 0, "{:?}", r.robustness);
         assert!(r.completed > 0);
         assert!(r.p95_ms < 50.0, "{r:?}");
+        assert!(r.conserved(), "{r:?}");
+    }
+
+    #[test]
+    fn cluster_books_conserve_across_scenarios() {
+        // The same conservation identity the chaos fuzzer audits, over a
+        // spread of stressors: clean, overloaded+bounded, crash+retry.
+        for r in [
+            quick(2, 20.0, Routing::LeastOutstanding),
+            quick(1, 400.0, Routing::RoundRobin),
+            {
+                let models = vec![ModelKind::Squeezenet];
+                let db = oracle_perfdb(&models, &[32]);
+                let mut cfg = ClusterConfig::new(2, models, 300.0);
+                cfg.horizon = SimDuration::from_secs(1);
+                cfg.queue_capacity = Some(8);
+                cfg.deadline = Some(SimDuration::from_millis(40));
+                cfg.crash = Some(CrashScript {
+                    gpu: 1,
+                    at: SimTime::ZERO + SimDuration::from_millis(300),
+                    down_for: SimDuration::from_millis(300),
+                });
+                run_cluster(&cfg, &db)
+            },
+        ] {
+            assert!(r.conserved(), "books out of balance: {r:?}");
+            assert_eq!(
+                r.arrivals as usize,
+                r.completed
+                    + r.drained as usize
+                    + r.leftover as usize
+                    + r.robustness.shed as usize
+                    + r.robustness.timed_out as usize
+                    + r.robustness.failed_requests as usize
+            );
+        }
+    }
+
+    #[test]
+    fn hedging_rescues_stragglers_and_first_wins() {
+        let models = vec![ModelKind::Squeezenet];
+        let db = oracle_perfdb(&models, &[32]);
+        let mut cfg = ClusterConfig::new(2, models, 120.0);
+        cfg.horizon = SimDuration::from_secs(2);
+        // GPU 0 turns into a brick for most of the run: requests stuck
+        // behind its wedged in-flight kernel are deadline-critical.
+        cfg.faults = vec![(
+            0,
+            FaultPlan::new().straggle_all(
+                SimTime::ZERO + SimDuration::from_millis(200),
+                1000.0,
+                SimDuration::from_millis(1500),
+            ),
+        )];
+        cfg.hedge = Some(HedgeConfig {
+            delay: SimDuration::from_millis(30),
+        });
+        let r = run_cluster(&cfg, &db);
+        assert!(r.robustness.hedged > 0, "{:?}", r.robustness);
+        assert!(r.robustness.hedge_wins > 0, "{:?}", r.robustness);
+        assert!(
+            r.robustness.hedge_wins <= r.robustness.hedged,
+            "{:?}",
+            r.robustness
+        );
+        assert!(r.conserved(), "{r:?}");
+        // The healthy GPU carried the hedged copies.
+        assert!(r.per_gpu[1] > r.per_gpu[0], "{:?}", r.per_gpu);
+    }
+
+    #[test]
+    fn hedging_without_stragglers_changes_nothing() {
+        let models = vec![ModelKind::Squeezenet, ModelKind::Albert];
+        let db = oracle_perfdb(&models, &[32]);
+        let run = |hedge| {
+            let mut cfg = ClusterConfig::new(2, models.clone(), 20.0);
+            cfg.horizon = SimDuration::from_secs(2);
+            cfg.hedge = hedge;
+            run_cluster(&cfg, &db)
+        };
+        let off = run(None);
+        // Requests complete in ~10-30 ms, far under the hedge delay: no
+        // hedge ever fires and the run is bit-identical.
+        let on = run(Some(HedgeConfig {
+            delay: SimDuration::from_millis(500),
+        }));
+        assert_eq!(off, on);
+        assert_eq!(on.robustness.hedged, 0);
     }
 }

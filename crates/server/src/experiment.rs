@@ -21,8 +21,11 @@ use krisp_sim::{
     DispatchCosts, FaultPlan, GpuTopology, KernelDesc, MaskAllocator, SimDuration, SimTime,
 };
 
-use crate::metrics::{ExperimentResult, RobustnessCounters, WorkerResult};
+use crate::metrics::{
+    ExperimentResult, FlowCounters, RobustnessCounters, SentinelCounters, WorkerResult,
+};
 use crate::request::{InferenceRequest, RequestQueue};
+use crate::sentinel::{BrownoutController, SentinelConfig, TokenBucket};
 
 /// How requests arrive at the server.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -131,6 +134,12 @@ pub struct ServerConfig {
     /// Per-request deadline: queued requests that waited longer are
     /// dropped instead of served. `None` disables deadlines.
     pub deadline: Option<SimDuration>,
+    /// Overload guardrails (admission control, CoDel shedding, brownout
+    /// right-sizing, retry budgets). `None` keeps the pre-sentinel
+    /// behavior bit-for-bit. Admission and brownout act on
+    /// [`Arrival::Poisson`] traffic; the brownout controller additionally
+    /// needs [`ServerConfig::deadline`] set to normalize latencies.
+    pub sentinel: Option<SentinelConfig>,
 }
 
 impl ServerConfig {
@@ -159,6 +168,7 @@ impl ServerConfig {
             watchdog: None,
             queue_capacity: None,
             deadline: None,
+            sentinel: None,
         }
     }
 
@@ -247,14 +257,24 @@ struct Worker {
 }
 
 impl Worker {
-    /// Pops the next request still worth serving, dropping queued
-    /// requests that already exceeded the deadline.
+    /// Pops the next request still worth serving: CoDel (when the queue
+    /// carries one) sheds heads with excessive sojourn, then queued
+    /// requests that already exceeded the deadline are dropped.
     fn pop_runnable(
         &mut self,
         now: SimTime,
         deadline: Option<SimDuration>,
     ) -> Option<InferenceRequest> {
-        while let Some(req) = self.queue.pop() {
+        loop {
+            let (dropped, head) = self.queue.pop_at(now);
+            for d in dropped {
+                let depth = self.queue.len() as u32;
+                self.bus.emit(now.as_nanos(), || EventKind::RequestShed {
+                    request_id: d.id,
+                    depth,
+                });
+            }
+            let req = head?;
             let waited = now.saturating_since(req.enqueued_at);
             if deadline.is_some_and(|d| waited > d) {
                 self.timed_out += 1;
@@ -267,7 +287,6 @@ impl Worker {
             }
             return Some(req);
         }
-        None
     }
 
     /// Starts one whole request of the configured batch size.
@@ -290,10 +309,12 @@ impl Worker {
         max_batch: u32,
         batch_timeout: SimDuration,
     ) {
-        if self.busy || self.sample_queue.is_empty() {
+        if self.busy {
             return;
         }
-        let oldest = *self.sample_queue.front().expect("non-empty");
+        let Some(&oldest) = self.sample_queue.front() else {
+            return;
+        };
         let full = self.sample_queue.len() >= max_batch as usize;
         let aged = now.saturating_since(oldest) >= batch_timeout;
         if !(full || aged) {
@@ -417,8 +438,27 @@ pub fn run_server_observed(
         obs: obs.clone(),
         faults: config.faults.clone(),
         watchdog: config.watchdog,
+        retry_budget: config.sentinel.as_ref().and_then(|s| s.retry_budget),
         ..RuntimeConfig::default()
     });
+
+    // --- Sentinel guardrails ------------------------------------------
+    let mut brownout: Option<BrownoutController> = config
+        .sentinel
+        .as_ref()
+        .and_then(|s| s.brownout)
+        .map(BrownoutController::new);
+    let mut admission: Option<Vec<TokenBucket>> = config.sentinel.as_ref().and_then(|s| {
+        s.admission
+            .map(|tb| config.models.iter().map(|_| TokenBucket::new(tb)).collect())
+    });
+    let codel_cfg = config.sentinel.as_ref().and_then(|s| s.codel);
+    let deadline_ms = config.deadline.map(|d| d.as_millis_f64());
+    // Whole-run request-flow books (Poisson / OpenBatched arrivals; the
+    // closed loop derives its trivially conserved books at the end).
+    let mut flow_arrivals = 0u64;
+    let mut flow_admitted = 0u64;
+    let mut flow_shed_admission = 0u64;
 
     // --- Workers and their stream masks -------------------------------
     let mut workers: Vec<Worker> = config
@@ -431,9 +471,15 @@ pub fn run_server_observed(
             trace: generate_trace(model, &trace_cfg),
             traces_by_batch: HashMap::new(),
             launch_overhead: trace_cfg.launch_overhead,
-            queue: config
-                .queue_capacity
-                .map_or_else(RequestQueue::new, RequestQueue::bounded),
+            queue: {
+                let q = config
+                    .queue_capacity
+                    .map_or_else(RequestQueue::new, RequestQueue::bounded);
+                match codel_cfg {
+                    Some(c) => q.with_codel(c),
+                    None => q,
+                }
+            },
             sample_queue: std::collections::VecDeque::new(),
             busy: false,
             inflight_starts: Vec::new(),
@@ -458,17 +504,22 @@ pub fn run_server_observed(
             Some(prior_work_partitions(&sizes, &topo))
         }
     };
+    // A rejected mask degrades that worker to the full device instead of
+    // killing the run; the error is recorded in the result's books.
+    let mut setup_errors: Vec<String> = Vec::new();
     if let Some(masks) = masks {
         for (w, mask) in workers.iter().zip(masks) {
-            rt.set_stream_mask(w.stream, mask)
-                .expect("worker streams exist and masks are non-empty");
+            if let Err(e) = rt.set_stream_mask(w.stream, mask) {
+                setup_errors.push(e.to_string());
+            }
         }
     }
     if let Some(n) = config.cu_restriction {
         let mask = krisp::select_cus(krisp::DistributionPolicy::Conserved, n, &topo);
         for w in &workers {
-            rt.set_stream_mask(w.stream, mask)
-                .expect("worker streams exist and masks are non-empty");
+            if let Err(e) = rt.set_stream_mask(w.stream, mask) {
+                setup_errors.push(e.to_string());
+            }
         }
     }
     let stream_to_worker: HashMap<StreamId, usize> = workers
@@ -572,6 +623,37 @@ pub fn run_server_observed(
                             w.next_request_id += 1;
                             (w.model, config.batch, id)
                         };
+                        flow_arrivals += 1;
+                        // Guardrail 1: in Shed state only an idle worker
+                        // accepts work. Guardrail 2: token-bucket rate
+                        // cap (no token is burned on a Shed rejection).
+                        let shed_state = brownout.as_ref().is_some_and(|c| {
+                            !c.admit_in_shed(workers[wi].queue.len(), workers[wi].busy)
+                        });
+                        let rate_reject =
+                            !shed_state && !admission.as_mut().is_none_or(|b| b[wi].try_admit(at));
+                        if shed_state || rate_reject {
+                            flow_shed_admission += 1;
+                            let depth = workers[wi].queue.len() as u32;
+                            workers[wi]
+                                .bus
+                                .emit(at.as_nanos(), || EventKind::RequestShed {
+                                    request_id: id,
+                                    depth,
+                                });
+                            if obs.metrics.enabled() {
+                                obs.metrics.inc(
+                                    "krisp_sentinel_admission_shed_total",
+                                    &[("worker", &wi.to_string())],
+                                    1,
+                                );
+                            }
+                            if at < end {
+                                let gap = exp_sample(&mut arrivals, rps_per_worker);
+                                rt.add_timer(gap, token);
+                            }
+                            continue;
+                        }
                         let accepted = workers[wi]
                             .queue
                             .push(InferenceRequest {
@@ -582,6 +664,7 @@ pub fn run_server_observed(
                             })
                             .is_ok();
                         if accepted {
+                            flow_admitted += 1;
                             workers[wi]
                                 .bus
                                 .emit(at.as_nanos(), || EventKind::RequestEnqueued {
@@ -627,6 +710,8 @@ pub fn run_server_observed(
                     } => {
                         let sample_id = workers[wi].next_request_id;
                         workers[wi].next_request_id += 1;
+                        flow_arrivals += 1;
+                        flow_admitted += 1;
                         workers[wi].sample_queue.push_back(at);
                         workers[wi]
                             .bus
@@ -666,6 +751,29 @@ pub fn run_server_observed(
                                 .observe("krisp_request_latency_ms", &labels, latency_ms);
                         }
                         w.records.push((at, latency_ms));
+                        // Feed the brownout controller one headroom sample
+                        // per completion; a transition re-sizes the whole
+                        // runtime's masks (Normal → exact right-sizing,
+                        // Brownout → widened, Shed → full device).
+                        if let (Some(ctl), Some(dl)) = (brownout.as_mut(), deadline_ms) {
+                            if let Some((from, to)) = ctl.observe(latency_ms / dl) {
+                                let p95_pct = (ctl.p95_ratio() * 100.0) as u32;
+                                rt.set_mask_widening(ctl.widening());
+                                w.bus.emit(at.as_nanos(), || EventKind::SentinelTransition {
+                                    from: from.code(),
+                                    to: to.code(),
+                                    p95_pct,
+                                });
+                                if obs.metrics.enabled() {
+                                    obs.metrics.inc("krisp_sentinel_transitions_total", &[], 1);
+                                    obs.metrics.set_gauge(
+                                        "krisp_sentinel_state",
+                                        &[],
+                                        f64::from(to.code()),
+                                    );
+                                }
+                            }
+                        }
                     }
                     w.busy = false;
                     match config.arrival {
@@ -745,8 +853,49 @@ pub fn run_server_observed(
         failed_kernels: workers.iter().map(|w| w.failed_kernels).sum(),
         failed_cus: rt.failed_cus().count(),
         stream_fallbacks: rt.stream_fallbacks().len() as u32,
-        errors: rt.take_errors().iter().map(ToString::to_string).collect(),
+        errors: setup_errors
+            .into_iter()
+            .chain(rt.take_errors().iter().map(ToString::to_string))
+            .collect(),
     };
+    // --- Conservation books ---------------------------------------------
+    let completed: u64 = workers.iter().map(|w| w.records.len() as u64).sum();
+    let in_flight_at_end: u64 = workers
+        .iter()
+        .map(|w| (w.queue.len() + w.sample_queue.len() + w.inflight_starts.len()) as u64)
+        .sum();
+    let flow = match config.arrival {
+        // The closed loop synthesizes a request exactly when it starts
+        // one, so its books are derived rather than sampled.
+        Arrival::ClosedLoop => FlowCounters {
+            arrivals: completed + robustness.failed_requests + in_flight_at_end,
+            admitted: completed + robustness.failed_requests + in_flight_at_end,
+            completed,
+            failed: robustness.failed_requests,
+            in_flight_at_end,
+            ..FlowCounters::default()
+        },
+        Arrival::Poisson { .. } | Arrival::OpenBatched { .. } => FlowCounters {
+            arrivals: flow_arrivals,
+            admitted: flow_admitted,
+            completed,
+            shed_admission: flow_shed_admission,
+            shed_capacity: robustness.shed,
+            shed_codel: workers.iter().map(|w| w.queue.shed_sojourn()).sum(),
+            timed_out: robustness.timed_out,
+            failed: robustness.failed_requests,
+            in_flight_at_end,
+        },
+    };
+    let sentinel_counters = config.sentinel.as_ref().map(|_| {
+        let (retry_budget_granted, retry_budget_denied) = rt.retry_budget_counters();
+        SentinelCounters {
+            transitions: brownout.as_ref().map_or(0, BrownoutController::transitions),
+            retry_budget_granted,
+            retry_budget_denied,
+            final_state: brownout.as_ref().map_or(0, |c| c.state().code()),
+        }
+    });
     let warm_at = SimTime::ZERO + warmup;
     let results = workers
         .into_iter()
@@ -770,6 +919,8 @@ pub fn run_server_observed(
         total_cus: topo.total_cus(),
         workers: results,
         robustness: Some(robustness),
+        flow: Some(flow),
+        sentinel: sentinel_counters,
     }
 }
 
@@ -1098,6 +1249,134 @@ mod tests {
         assert!(rb.timed_out > 0, "no deadline drops at 3x overload");
         assert!(rb.shed == 0, "unbounded queue must not shed");
         assert!(r.total_inferences() > 0);
+    }
+
+    #[test]
+    fn inert_sentinel_is_bit_identical_to_none() {
+        let run = |sentinel| {
+            let mut cfg =
+                ServerConfig::closed_loop(Policy::KrispI, vec![ModelKind::Squeezenet; 2], 32);
+            cfg.arrival = Arrival::Poisson {
+                rps_per_worker: 60.0,
+            };
+            cfg.sentinel = sentinel;
+            cfg.warmup = Some(SimDuration::from_millis(40));
+            cfg.duration = Some(SimDuration::from_millis(400));
+            let db = oracle_perfdb(&cfg.models, &[32]);
+            run_server(&cfg, &db)
+        };
+        let off = run(None);
+        let on = run(Some(crate::sentinel::SentinelConfig::default()));
+        assert_eq!(off.workers, on.workers);
+        assert_eq!(off.flow, on.flow);
+        assert_eq!(off.robustness, on.robustness);
+    }
+
+    #[test]
+    fn admission_control_caps_overload_and_conserves_flow() {
+        let mut cfg =
+            ServerConfig::closed_loop(Policy::MpsDefault, vec![ModelKind::Squeezenet], 32);
+        cfg.arrival = Arrival::Poisson {
+            rps_per_worker: 400.0, // ~3x the model's ~125 rps capacity
+        };
+        cfg.sentinel = Some(crate::sentinel::SentinelConfig {
+            admission: Some(crate::sentinel::TokenBucketConfig {
+                rate_per_s: 100.0,
+                burst: 5.0,
+            }),
+            ..crate::sentinel::SentinelConfig::default()
+        });
+        cfg.warmup = Some(SimDuration::from_millis(40));
+        cfg.duration = Some(SimDuration::from_secs(1));
+        let db = oracle_perfdb(&cfg.models, &[32]);
+        let r = run_server(&cfg, &db);
+        let flow = r.flow.clone().expect("flow books");
+        assert!(flow.conserved(), "books out of balance: {flow:?}");
+        assert!(flow.shed_admission > 0, "no admission shedding at 4x rate");
+        // Admitted load sits near the bucket rate, so the queue stays
+        // shallow and latency bounded even though the offered load is 4x.
+        assert!(r.total_rps() < 120.0, "rps {}", r.total_rps());
+        assert!(
+            r.max_p95_ms().expect("completions") < 60.0,
+            "p95 {}",
+            r.max_p95_ms().unwrap()
+        );
+    }
+
+    #[test]
+    fn codel_sheds_on_sojourn_and_conserves_flow() {
+        let mut cfg =
+            ServerConfig::closed_loop(Policy::MpsDefault, vec![ModelKind::Squeezenet], 32);
+        cfg.arrival = Arrival::Poisson {
+            rps_per_worker: 400.0,
+        };
+        cfg.sentinel = Some(crate::sentinel::SentinelConfig {
+            codel: Some(krisp_sim::CoDelConfig {
+                target: SimDuration::from_millis(5),
+                interval: SimDuration::from_millis(50),
+            }),
+            ..crate::sentinel::SentinelConfig::default()
+        });
+        cfg.warmup = Some(SimDuration::from_millis(40));
+        cfg.duration = Some(SimDuration::from_secs(1));
+        let db = oracle_perfdb(&cfg.models, &[32]);
+        let r = run_server(&cfg, &db);
+        let flow = r.flow.clone().expect("flow books");
+        assert!(flow.conserved(), "books out of balance: {flow:?}");
+        assert!(flow.shed_codel > 0, "CoDel never shed at 3x overload");
+        assert!(r.total_inferences() > 0, "shed everything");
+    }
+
+    #[test]
+    fn brownout_cycle_emits_golden_transition_sequence() {
+        // S3 (server level): sustained overload against a brownout-only
+        // sentinel walks the canonical cycle — enter Brownout, collapse
+        // to Shed, drain, recover. The first four transitions are pinned.
+        let mut cfg =
+            ServerConfig::closed_loop(Policy::MpsDefault, vec![ModelKind::Squeezenet], 32);
+        cfg.arrival = Arrival::Poisson {
+            rps_per_worker: 400.0,
+        };
+        cfg.deadline = Some(SimDuration::from_millis(25));
+        cfg.sentinel = Some(crate::sentinel::SentinelConfig {
+            brownout: Some(crate::sentinel::BrownoutConfig {
+                window: 16,
+                min_samples: 8,
+                ..crate::sentinel::BrownoutConfig::default()
+            }),
+            ..crate::sentinel::SentinelConfig::default()
+        });
+        cfg.warmup = Some(SimDuration::from_millis(40));
+        cfg.duration = Some(SimDuration::from_secs(2));
+        let db = oracle_perfdb(&cfg.models, &[32]);
+        let (obs, sink) = Obs::recording(1 << 16);
+        let r = run_server_observed(&cfg, &db, obs);
+        let transitions: Vec<(u32, u32)> = sink
+            .lock()
+            .expect("sink")
+            .drain()
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::SentinelTransition { from, to, .. } => Some((from, to)),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            transitions.len() >= 4,
+            "expected a full cycle, got {transitions:?}"
+        );
+        assert_eq!(
+            &transitions[..4],
+            &[(0, 1), (1, 2), (2, 1), (1, 0)],
+            "golden Normal→Brownout→Shed→Brownout→Normal cycle"
+        );
+        let flow = r.flow.clone().expect("flow books");
+        assert!(flow.conserved(), "books out of balance: {flow:?}");
+        assert!(flow.shed_admission > 0, "Shed state never rejected work");
+        assert_eq!(
+            r.sentinel.as_ref().expect("sentinel counters").transitions,
+            transitions.len() as u64
+        );
     }
 
     #[test]

@@ -35,15 +35,22 @@ pub mod cluster;
 pub mod experiment;
 pub mod metrics;
 pub mod request;
+pub mod sentinel;
 
 pub use capacity::{plan_capacity, CapacityOptions, CapacityPlan};
 pub use cluster::{
     run_cluster, run_cluster_observed, BreakerConfig, ClusterConfig, ClusterResult,
-    ClusterRobustness, CrashScript, GpuHealth, Routing,
+    ClusterRobustness, CrashScript, GpuHealth, HedgeConfig, Routing,
 };
 pub use experiment::{
     model_right_size, oracle_perfdb, run_server, run_server_observed, Arrival, KrispEnforcement,
     RightSizeSource, ServerConfig,
 };
-pub use metrics::{ExperimentResult, RobustnessCounters, WorkerResult};
-pub use request::{InferenceRequest, RequestQueue};
+pub use metrics::{
+    ExperimentResult, FlowCounters, RobustnessCounters, SentinelCounters, WorkerResult,
+};
+pub use request::{InferenceRequest, RequestQueue, Sojourn};
+pub use sentinel::{
+    BrownoutConfig, BrownoutController, SentinelConfig, SentinelState, TokenBucket,
+    TokenBucketConfig,
+};

@@ -64,6 +64,68 @@ impl RobustnessCounters {
     }
 }
 
+/// Whole-run request-flow accounting, counting **every** request from
+/// arrival to its final disposition regardless of the measurement
+/// window. These are the conservation books the chaos fuzzer audits:
+/// no request may be lost or double-counted.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FlowCounters {
+    /// Requests that arrived at the front-end.
+    pub arrivals: u64,
+    /// Requests admitted past the guardrails into a queue or worker.
+    pub admitted: u64,
+    /// Admitted requests that completed (inside the window or not).
+    pub completed: u64,
+    /// Arrivals rejected by token-bucket admission or Shed-state policy.
+    pub shed_admission: u64,
+    /// Arrivals rejected because a bounded queue was at capacity.
+    pub shed_capacity: u64,
+    /// Admitted requests shed by CoDel for excessive sojourn time.
+    pub shed_codel: u64,
+    /// Admitted requests dropped for exceeding their deadline in queue.
+    pub timed_out: u64,
+    /// Admitted requests whose final kernel was abandoned.
+    pub failed: u64,
+    /// Admitted requests still queued or executing when the run ended.
+    pub in_flight_at_end: u64,
+}
+
+impl FlowCounters {
+    /// True when the books balance: every arrival is accounted for
+    /// exactly once.
+    ///
+    /// ```
+    /// use krisp_server::metrics::FlowCounters;
+    ///
+    /// let f = FlowCounters { arrivals: 5, admitted: 4, completed: 3,
+    ///     shed_admission: 1, in_flight_at_end: 1, ..FlowCounters::default() };
+    /// assert!(f.conserved());
+    /// ```
+    pub fn conserved(&self) -> bool {
+        self.arrivals == self.admitted + self.shed_admission + self.shed_capacity
+            && self.admitted
+                == self.completed
+                    + self.shed_codel
+                    + self.timed_out
+                    + self.failed
+                    + self.in_flight_at_end
+    }
+}
+
+/// Sentinel guardrail activity over one run (shed counts live in
+/// [`FlowCounters`]; these are the control-loop internals).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SentinelCounters {
+    /// Brownout state-machine transitions taken.
+    pub transitions: u64,
+    /// Watchdog retries granted by the retry budget.
+    pub retry_budget_granted: u64,
+    /// Watchdog retries denied by the retry budget.
+    pub retry_budget_denied: u64,
+    /// Final brownout state code (0 normal, 1 brownout, 2 shed).
+    pub final_state: u32,
+}
+
 /// Outcome of one server experiment.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentResult {
@@ -86,6 +148,12 @@ pub struct ExperimentResult {
     /// Degradation counters (`None` in results cached before fault
     /// support existed — equivalent to a clean run).
     pub robustness: Option<RobustnessCounters>,
+    /// Whole-run request-flow accounting (`None` in results cached
+    /// before the sentinel existed).
+    pub flow: Option<FlowCounters>,
+    /// Sentinel guardrail activity (`None` when no sentinel was
+    /// configured or the result predates it).
+    pub sentinel: Option<SentinelCounters>,
 }
 
 impl ExperimentResult {
@@ -167,6 +235,8 @@ mod tests {
                 })
                 .collect(),
             robustness: None,
+            flow: None,
+            sentinel: None,
         }
     }
 
@@ -239,5 +309,43 @@ mod tests {
         let back = <ExperimentResult as Deserialize>::from_value(&v).unwrap();
         assert_eq!(back, r);
         assert!(!back.robustness().is_clean());
+    }
+
+    #[test]
+    fn flow_and_sentinel_counters_round_trip() {
+        let mut r = result(vec![vec![1.0]]);
+        r.flow = Some(FlowCounters {
+            arrivals: 10,
+            admitted: 7,
+            completed: 5,
+            shed_admission: 2,
+            shed_capacity: 1,
+            shed_codel: 1,
+            timed_out: 0,
+            failed: 0,
+            in_flight_at_end: 1,
+        });
+        r.sentinel = Some(SentinelCounters {
+            transitions: 4,
+            retry_budget_granted: 2,
+            retry_budget_denied: 1,
+            final_state: 0,
+        });
+        assert!(r.flow.as_ref().unwrap().conserved());
+        let v = r.to_value();
+        let back = <ExperimentResult as Deserialize>::from_value(&v).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn flow_conservation_detects_lost_requests() {
+        let f = FlowCounters {
+            arrivals: 10,
+            admitted: 9, // one arrival vanished without a shed count
+            completed: 9,
+            ..FlowCounters::default()
+        };
+        assert!(!f.conserved());
+        assert!(FlowCounters::default().conserved());
     }
 }
