@@ -110,7 +110,7 @@ fn run_strategy(strategy: Strategy, perfdb: &RequiredCusTable) -> Outcome {
     let mut rt = Runtime::new(RuntimeConfig {
         mode,
         allocator: Box::new(KrispAllocator::isolated()),
-        perfdb: perfdb.clone(),
+        perfdb: std::sync::Arc::new(perfdb.clone()),
         jitter_sigma: 0.03,
         ..RuntimeConfig::default()
     });

@@ -44,7 +44,7 @@ fn one_pass(model: ModelKind, mode: PartitionMode, perfdb: &RequiredCusTable) ->
             PartitionMode::StreamMasking => Box::new(krisp_sim::FullMaskAllocator),
             _ => Box::new(KrispAllocator::isolated()),
         },
-        perfdb: perfdb.clone(),
+        perfdb: std::sync::Arc::new(perfdb.clone()),
         jitter_sigma: 0.0,
         topology: topo,
         ..RuntimeConfig::default()
@@ -70,7 +70,7 @@ fn save_emulation_trace(perfdb: &RequiredCusTable) {
     let mut rt = Runtime::new(RuntimeConfig {
         mode: PartitionMode::KernelScopedEmulated(EmulationCosts::default()),
         allocator: Box::new(KrispAllocator::isolated()),
-        perfdb: perfdb.clone(),
+        perfdb: std::sync::Arc::new(perfdb.clone()),
         jitter_sigma: 0.0,
         topology: topo,
         obs,
@@ -133,7 +133,9 @@ pub fn run(perfdb: &RequiredCusTable) -> Vec<Row> {
         });
     }
     save_json("fig12.json", &rows);
-    save_emulation_trace(perfdb);
+    if crate::save_traces() {
+        save_emulation_trace(perfdb);
+    }
     println!(
         "\nshape checks: L_over scales with kernel count ({} us per kernel);",
         costs.per_kernel().as_micros_f64()

@@ -123,6 +123,14 @@ pub fn results_dir() -> PathBuf {
     dir
 }
 
+/// Whether multi-megabyte `*_trace.json` Perfetto artifacts should be
+/// written. Off by default — traces are debugging aids, not results —
+/// and opt-in via `KRISP_SAVE_TRACES=1`. The small summary JSONs are
+/// always written.
+pub fn save_traces() -> bool {
+    std::env::var_os("KRISP_SAVE_TRACES").is_some_and(|v| v == "1")
+}
+
 /// Saves a serializable value as pretty JSON under `results/`.
 pub fn save_json<T: Serialize>(name: &str, value: &T) {
     let path = results_dir().join(name);

@@ -222,7 +222,9 @@ pub fn run(perfdb: &RequiredCusTable) -> Vec<Row> {
         );
     }
     save_json("robustness_faults.json", &rows);
-    save_fault_trace(duration, perfdb);
+    if crate::save_traces() {
+        save_fault_trace(duration, perfdb);
+    }
 
     let retained = |scenario: &str, policy: Policy| {
         rows.iter()

@@ -6,7 +6,7 @@
 //! [`krisp_sim::FaultPlan`]) that is run end to end against a set of
 //! **invariant oracles** — flow conservation, monotone simulation time,
 //! valid sentinel transitions, bit-identical replay, and liveness (see
-//! [`oracle`]). When an oracle trips, the [`shrink`] module reduces the
+//! [`oracle`]). When an oracle trips, the [`mod@shrink`] module reduces the
 //! case to a minimal reproducer and writes it to
 //! `results/chaos_repros/`, replayable with one command:
 //!

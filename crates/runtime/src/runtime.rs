@@ -3,6 +3,7 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
+use std::sync::Arc;
 
 use krisp_obs::{EventKind, Obs};
 use krisp_sim::{
@@ -140,8 +141,10 @@ pub struct RuntimeConfig {
     /// "emulated kernel-scoped partitions with an all-CU mask"
     /// configuration the paper uses to measure `L_emu_base`.
     pub allocator: Box<dyn MaskAllocator>,
-    /// Profiled per-kernel minimum CUs.
-    pub perfdb: RequiredCusTable,
+    /// Profiled per-kernel minimum CUs, shared read-only (hosts driving
+    /// many runtimes hand each one the same [`Arc`] instead of cloning
+    /// the table per device).
+    pub perfdb: Arc<RequiredCusTable>,
     /// RNG seed for kernel-duration jitter.
     pub seed: u64,
     /// Lognormal sigma of kernel-duration jitter (0 disables).
@@ -151,9 +154,9 @@ pub struct RuntimeConfig {
     /// Observability handles (event bus + metrics), shared with the
     /// machine. Disabled by default.
     pub obs: Obs,
-    /// Deterministic fault schedule passed to the machine. Empty by
-    /// default (and an empty plan is zero-cost).
-    pub faults: FaultPlan,
+    /// Deterministic fault schedule passed to the machine, shared
+    /// read-only. Empty by default (and an empty plan is zero-cost).
+    pub faults: Arc<FaultPlan>,
     /// Kernel watchdog; `None` (the default) disables timeout detection
     /// entirely. Mask-apply faults are always retried (with
     /// [`WatchdogConfig::default`]'s budget when no watchdog is set),
@@ -172,12 +175,12 @@ impl Default for RuntimeConfig {
             costs: DispatchCosts::default(),
             mode: PartitionMode::StreamMasking,
             allocator: Box::new(FullMaskAllocator),
-            perfdb: RequiredCusTable::new(),
+            perfdb: Arc::new(RequiredCusTable::new()),
             seed: 42,
             jitter_sigma: 0.0,
             sharing_penalty: krisp_sim::contention::DEFAULT_SHARING_PENALTY,
             obs: Obs::disabled(),
-            faults: FaultPlan::new(),
+            faults: Arc::new(FaultPlan::new()),
             watchdog: None,
             retry_budget: None,
         }
@@ -333,7 +336,7 @@ struct MaskRetry {
 pub struct Runtime {
     machine: Machine,
     mode: PartitionMode,
-    perfdb: RequiredCusTable,
+    perfdb: Arc<RequiredCusTable>,
     /// Allocator used by the *emulated* path (the native path's allocator
     /// lives inside the machine's packet processor).
     emu_allocator: Option<Box<dyn MaskAllocator>>,
@@ -488,7 +491,7 @@ impl Runtime {
     /// Mutable access to the Required-CUs table (e.g. to install profiles
     /// at "library installation time").
     pub fn perfdb_mut(&mut self) -> &mut RequiredCusTable {
-        &mut self.perfdb
+        Arc::make_mut(&mut self.perfdb)
     }
 
     /// Number of launches that went through the emulation path.
@@ -1043,7 +1046,7 @@ mod tests {
             ..RuntimeConfig::default()
         };
         let k = kernel(1.0e6, 60);
-        config.perfdb.insert(&k, 10);
+        Arc::make_mut(&mut config.perfdb).insert(&k, 10);
         // FullMaskAllocator ignores the size, so to observe the request we
         // use a capturing allocator.
         #[derive(Debug)]
@@ -1086,7 +1089,7 @@ mod tests {
             ..RuntimeConfig::default()
         };
         let k = kernel(6.0e6, 60);
-        config.perfdb.insert(&k, 60);
+        Arc::make_mut(&mut config.perfdb).insert(&k, 60);
         let mut rt = Runtime::new(config);
         let s = rt.create_stream();
         rt.launch(s, k, 9);
@@ -1117,8 +1120,8 @@ mod tests {
         };
         let ka = kernel(1.0e6, 60).with_grid_threads(1);
         let kb = kernel(1.0e6, 60).with_grid_threads(2);
-        config.perfdb.insert(&ka, 10);
-        config.perfdb.insert(&kb, 30);
+        Arc::make_mut(&mut config.perfdb).insert(&ka, 10);
+        Arc::make_mut(&mut config.perfdb).insert(&kb, 30);
         let mut rt = Runtime::new(config);
         let s = rt.create_stream();
         rt.launch(s, ka, 0);
@@ -1187,7 +1190,7 @@ mod tests {
         let run = |faults: FaultPlan| {
             let mut rt = Runtime::new(RuntimeConfig {
                 jitter_sigma: 0.05,
-                faults,
+                faults: Arc::new(faults),
                 ..RuntimeConfig::default()
             });
             let s = rt.create_stream();
@@ -1204,8 +1207,9 @@ mod tests {
     fn cu_failures_surface_as_client_events() {
         let topo = GpuTopology::MI50;
         let mut rt = Runtime::new(RuntimeConfig {
-            faults: FaultPlan::new()
-                .fail_cus(SimTime::from_nanos(50_000), CuMask::first_n(15, &topo)),
+            faults: Arc::new(
+                FaultPlan::new().fail_cus(SimTime::from_nanos(50_000), CuMask::first_n(15, &topo)),
+            ),
             ..RuntimeConfig::default()
         });
         let s = rt.create_stream();
@@ -1226,11 +1230,11 @@ mod tests {
         // watchdog aborts it, backs off, and the retry (outside the
         // window) runs clean.
         let mut rt = Runtime::new(RuntimeConfig {
-            faults: FaultPlan::new().straggle_all(
+            faults: Arc::new(FaultPlan::new().straggle_all(
                 SimTime::ZERO,
                 100.0,
                 SimDuration::from_micros(20),
-            ),
+            )),
             watchdog: Some(WatchdogConfig {
                 multiplier: 2.0,
                 min_timeout: SimDuration::from_micros(10),
@@ -1260,11 +1264,11 @@ mod tests {
         // The straggle window outlives every retry: the kernel is
         // eventually abandoned and the stream continues.
         let mut rt = Runtime::new(RuntimeConfig {
-            faults: FaultPlan::new().straggle_all(
+            faults: Arc::new(FaultPlan::new().straggle_all(
                 SimTime::ZERO,
                 1000.0,
                 SimDuration::from_millis(100),
-            ),
+            )),
             watchdog: Some(WatchdogConfig {
                 multiplier: 2.0,
                 min_timeout: SimDuration::from_micros(5),
@@ -1300,11 +1304,11 @@ mod tests {
         // stream-scoped masking, and both kernels still complete.
         let mut rt = Runtime::new(RuntimeConfig {
             mode: PartitionMode::KernelScopedEmulated(EmulationCosts::default()),
-            faults: FaultPlan::new().reject_mask_apply(
+            faults: Arc::new(FaultPlan::new().reject_mask_apply(
                 SimTime::ZERO,
                 QueueId(0),
                 SimDuration::from_millis(500),
-            ),
+            )),
             ..RuntimeConfig::default()
         });
         let s = rt.create_stream();
@@ -1331,11 +1335,11 @@ mod tests {
         // emulation keeps working (no fallback, no errors).
         let mut rt = Runtime::new(RuntimeConfig {
             mode: PartitionMode::KernelScopedEmulated(EmulationCosts::default()),
-            faults: FaultPlan::new().reject_mask_apply(
+            faults: Arc::new(FaultPlan::new().reject_mask_apply(
                 SimTime::ZERO,
                 QueueId(0),
                 SimDuration::from_micros(40),
-            ),
+            )),
             watchdog: Some(WatchdogConfig {
                 backoff: SimDuration::from_micros(30),
                 ..WatchdogConfig::default()
@@ -1357,7 +1361,7 @@ mod tests {
             ..RuntimeConfig::default()
         };
         let k = kernel(1.0e6, 60);
-        config.perfdb.insert(&k, 999); // profiled on other hardware
+        Arc::make_mut(&mut config.perfdb).insert(&k, 999); // profiled on other hardware
         let mut rt = Runtime::new(config);
         let s = rt.create_stream();
         rt.launch(s, k, 0);
@@ -1379,11 +1383,11 @@ mod tests {
         // the second is denied, and the kernel is abandoned with the
         // budget-specific error (not a plain timeout).
         let mut rt = Runtime::new(RuntimeConfig {
-            faults: FaultPlan::new().straggle_all(
+            faults: Arc::new(FaultPlan::new().straggle_all(
                 SimTime::ZERO,
                 1000.0,
                 SimDuration::from_millis(100),
-            ),
+            )),
             watchdog: Some(WatchdogConfig {
                 multiplier: 2.0,
                 min_timeout: SimDuration::from_micros(5),
@@ -1463,7 +1467,7 @@ mod tests {
             ..RuntimeConfig::default()
         };
         let k = kernel(1.0e6, 60);
-        config.perfdb.insert(&k, 10);
+        Arc::make_mut(&mut config.perfdb).insert(&k, 10);
         let mut rt = Runtime::new(config);
         let s = rt.create_stream();
         rt.launch(s, k.clone(), 0);

@@ -37,7 +37,7 @@ fn run_trace(kind: ModelKind, mode: PartitionMode, db: &RequiredCusTable) -> (u6
     let mut rt = Runtime::new(RuntimeConfig {
         mode,
         allocator: Box::new(PrefixAllocator),
-        perfdb: db.clone(),
+        perfdb: std::sync::Arc::new(db.clone()),
         jitter_sigma: 0.0,
         ..RuntimeConfig::default()
     });
@@ -106,7 +106,7 @@ fn two_streams_emulated_concurrently_stay_consistent() {
     let mut rt = Runtime::new(RuntimeConfig {
         mode: PartitionMode::KernelScopedEmulated(EmulationCosts::default()),
         allocator: Box::new(PrefixAllocator),
-        perfdb: db,
+        perfdb: std::sync::Arc::new(db),
         jitter_sigma: 0.0,
         ..RuntimeConfig::default()
     });

@@ -1,0 +1,51 @@
+//! # krisp-serve-core — the event-driven serving engine
+//!
+//! One serving engine under every front-end. The single-GPU server
+//! (`krisp_server::experiment`) and the multi-GPU cluster
+//! (`krisp_server::cluster`) used to carry parallel implementations of
+//! workers, bounded queues, admission guardrails, arrival generation,
+//! deadlines, and flow accounting; this crate owns the single copy of
+//! each, parameterized over the [`engine::Dispatcher`] trait so routing,
+//! health, and hedging policy stay with the deployment that needs them.
+//!
+//! The pieces, bottom-up:
+//!
+//! - [`queue`] — [`InferenceRequest`], the generic bounded
+//!   [`RequestQueue`] with optional CoDel sojourn shedding (over any
+//!   [`Sojourn`] payload).
+//! - [`sentinel`] — token-bucket admission, the brownout hysteresis
+//!   state machine, and the [`AdmissionChain`] that composes them in
+//!   guardrail order.
+//! - [`books`] — [`FlowCounters`] / [`RobustnessCounters`] /
+//!   [`SentinelCounters`], the conservation books every result carries.
+//! - [`arrival`] — the [`Arrival`] process descriptions plus the
+//!   deterministic Poisson stream generators.
+//! - [`worker`] — the per-model [`Worker`] lifecycle (queue → batch →
+//!   launch → record).
+//! - [`engine`] — the conservative event loop ([`engine::drive`]) that
+//!   interleaves control events, external arrivals, and device events
+//!   behind the [`engine::Dispatcher`] trait.
+//!
+//! Everything is driven by simulation time and seeded RNGs only: same
+//! seed, same trace, bit-identical results — the property the golden
+//! fixtures in `krisp-server` pin across refactors.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arrival;
+pub mod books;
+pub mod engine;
+pub mod queue;
+pub mod sentinel;
+pub mod worker;
+
+pub use arrival::{exp_sample, poisson_arrivals, Arrival};
+pub use books::{FlowCounters, RobustnessCounters, SentinelCounters};
+pub use engine::{drive, Dispatcher, ExternalArrival};
+pub use queue::{InferenceRequest, RequestQueue, Sojourn};
+pub use sentinel::{
+    AdmissionChain, BrownoutConfig, BrownoutController, SentinelConfig, SentinelState, TokenBucket,
+    TokenBucketConfig,
+};
+pub use worker::Worker;

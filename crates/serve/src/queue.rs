@@ -1,0 +1,377 @@
+//! Inference requests and the generic bounded request queues of the
+//! serving front-end.
+
+use std::collections::VecDeque;
+
+use krisp_models::ModelKind;
+use krisp_sim::{CoDel, CoDelConfig, SimDuration, SimTime};
+
+pub use krisp_sim::Sojourn;
+
+/// One client inference request (a batch of inputs for one model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InferenceRequest {
+    /// Monotonic request id.
+    pub id: u64,
+    /// The model to run.
+    pub model: ModelKind,
+    /// Batch size.
+    pub batch: u32,
+    /// When the front-end enqueued the request.
+    pub enqueued_at: SimTime,
+}
+
+impl Sojourn for InferenceRequest {
+    fn enqueued_at(&self) -> SimTime {
+        self.enqueued_at
+    }
+}
+
+/// A FIFO request queue, one per worker (the paper's shared-memory
+/// request queues, simplified to in-process FIFOs since the simulation
+/// is single-threaded).
+///
+/// The queue can be **bounded**: pushes beyond the capacity are rejected
+/// (load shedding) and counted, so an overloaded worker degrades by
+/// refusing work instead of growing its backlog without limit.
+///
+/// Independently, the queue can run a **CoDel** sojourn-time control law
+/// ([`RequestQueue::with_codel`]): heads whose waiting time stays above
+/// the target for a full interval are shed at dequeue, which reacts to
+/// *staleness* long before a depth bound trips. Depth sheds and sojourn
+/// sheds are counted separately ([`RequestQueue::shed`] vs
+/// [`RequestQueue::shed_sojourn`]).
+///
+/// # Examples
+///
+/// ```
+/// use krisp_models::ModelKind;
+/// use krisp_serve_core::{InferenceRequest, RequestQueue};
+/// use krisp_sim::SimTime;
+///
+/// let mut q = RequestQueue::bounded(1);
+/// let req = |id| InferenceRequest {
+///     id,
+///     model: ModelKind::Albert,
+///     batch: 32,
+///     enqueued_at: SimTime::ZERO,
+/// };
+/// assert!(q.push(req(0)).is_ok());
+/// assert!(q.push(req(1)).is_err()); // full: shed
+/// assert_eq!(q.shed(), 1);
+/// assert_eq!(q.pop().unwrap().id, 0);
+/// assert!(q.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct RequestQueue<T = InferenceRequest> {
+    queue: VecDeque<T>,
+    max_depth: usize,
+    /// `None` = unbounded (the pre-robustness behavior).
+    capacity: Option<usize>,
+    shed: u64,
+    codel: Option<CoDel>,
+    shed_sojourn: u64,
+}
+
+impl<T> Default for RequestQueue<T> {
+    fn default() -> RequestQueue<T> {
+        RequestQueue {
+            queue: VecDeque::new(),
+            max_depth: 0,
+            capacity: None,
+            shed: 0,
+            codel: None,
+            shed_sojourn: 0,
+        }
+    }
+}
+
+impl<T> RequestQueue<T> {
+    /// Creates an empty unbounded queue.
+    pub fn new() -> RequestQueue<T> {
+        RequestQueue::default()
+    }
+
+    /// Creates an empty queue that sheds pushes beyond `capacity`
+    /// waiting requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (such a queue could never serve).
+    pub fn bounded(capacity: usize) -> RequestQueue<T> {
+        assert!(
+            capacity > 0,
+            "a queue needs capacity for at least one request"
+        );
+        RequestQueue {
+            capacity: Some(capacity),
+            ..RequestQueue::default()
+        }
+    }
+
+    /// Attaches a CoDel sojourn-time dropper, enabled on every
+    /// [`RequestQueue::pop_at`] call.
+    pub fn with_codel(mut self, cfg: CoDelConfig) -> RequestQueue<T> {
+        self.codel = Some(CoDel::new(cfg));
+        self
+    }
+
+    /// Enqueues a request; a full bounded queue rejects it, returning it
+    /// to the caller and counting the shed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the request itself when the queue is at capacity.
+    pub fn push(&mut self, request: T) -> Result<(), T> {
+        if self.capacity.is_some_and(|cap| self.queue.len() >= cap) {
+            self.shed += 1;
+            return Err(request);
+        }
+        self.queue.push_back(request);
+        self.max_depth = self.max_depth.max(self.queue.len());
+        Ok(())
+    }
+
+    /// Dequeues the oldest request, bypassing the CoDel law (closed-loop
+    /// paths and drains that must not shed).
+    pub fn pop(&mut self) -> Option<T> {
+        self.queue.pop_front()
+    }
+
+    /// Requests currently waiting.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True if no request is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Iterates the waiting requests, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.queue.iter()
+    }
+
+    /// High-water mark of the queue depth (back-pressure indicator).
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// The configured capacity (`None` = unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Requests rejected because the queue was full.
+    pub fn shed(&self) -> u64 {
+        self.shed
+    }
+
+    /// Requests shed by the CoDel sojourn-time law at dequeue.
+    pub fn shed_sojourn(&self) -> u64 {
+        self.shed_sojourn
+    }
+}
+
+impl<T: Sojourn> RequestQueue<T> {
+    /// Dequeues the oldest request at instant `now`, applying the CoDel
+    /// sojourn law when one is attached: heads the law rejects are
+    /// returned in the first tuple slot (for the caller to account/emit
+    /// events for) and the served head — if any survives — in the
+    /// second. Without CoDel this is exactly [`RequestQueue::pop`] with
+    /// an empty drop list. CoDel never drops the last waiting item, so a
+    /// non-empty queue always serves something.
+    pub fn pop_at(&mut self, now: SimTime) -> (Vec<T>, Option<T>) {
+        let mut dropped = Vec::new();
+        while let Some(head) = self.queue.pop_front() {
+            let Some(codel) = self.codel.as_mut() else {
+                return (dropped, Some(head));
+            };
+            let sojourn: SimDuration = now.saturating_since(head.enqueued_at());
+            if codel.on_dequeue(sojourn, now, self.queue.len() + 1) {
+                self.shed_sojourn += 1;
+                dropped.push(head);
+            } else {
+                return (dropped, Some(head));
+            }
+        }
+        (dropped, None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn req(id: u64) -> InferenceRequest {
+        InferenceRequest {
+            id,
+            model: ModelKind::Albert,
+            batch: 32,
+            enqueued_at: SimTime::ZERO,
+        }
+    }
+
+    fn req_at(id: u64, at_ns: u64) -> InferenceRequest {
+        InferenceRequest {
+            enqueued_at: SimTime::from_nanos(at_ns),
+            ..req(id)
+        }
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut q = RequestQueue::new();
+        q.push(req(1)).unwrap();
+        q.push(req(2)).unwrap();
+        assert_eq!(q.pop().unwrap().id, 1);
+        assert_eq!(q.pop().unwrap().id, 2);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn high_water_mark() {
+        let mut q = RequestQueue::new();
+        q.push(req(1)).unwrap();
+        q.push(req(2)).unwrap();
+        q.pop();
+        q.push(req(3)).unwrap();
+        assert_eq!(q.max_depth(), 2);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn unbounded_queue_never_sheds() {
+        let mut q = RequestQueue::new();
+        for i in 0..10_000 {
+            q.push(req(i)).unwrap();
+        }
+        assert_eq!(q.shed(), 0);
+        assert_eq!(q.capacity(), None);
+    }
+
+    #[test]
+    fn bounded_queue_sheds_at_capacity() {
+        let mut q = RequestQueue::bounded(2);
+        q.push(req(1)).unwrap();
+        q.push(req(2)).unwrap();
+        let rejected = q.push(req(3)).unwrap_err();
+        assert_eq!(rejected.id, 3);
+        assert_eq!(q.shed(), 1);
+        // Draining frees capacity again.
+        q.pop();
+        q.push(req(4)).unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.max_depth(), 2);
+        assert_eq!(q.shed(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        RequestQueue::<InferenceRequest>::bounded(0);
+    }
+
+    #[test]
+    fn pop_at_without_codel_is_plain_pop() {
+        let mut q: RequestQueue = RequestQueue::new();
+        q.push(req_at(1, 0)).unwrap();
+        let (dropped, served) = q.pop_at(SimTime::from_nanos(u64::MAX / 2));
+        assert!(dropped.is_empty());
+        assert_eq!(served.unwrap().id, 1);
+        assert_eq!(q.shed_sojourn(), 0);
+    }
+
+    #[test]
+    fn codel_sheds_stale_heads_but_serves_the_last() {
+        let cfg = CoDelConfig {
+            target: SimDuration::from_micros(10),
+            interval: SimDuration::from_micros(100),
+        };
+        let mut q: RequestQueue = RequestQueue::new().with_codel(cfg);
+        for i in 0..8 {
+            q.push(req_at(i, 0)).unwrap();
+        }
+        // Every head is wildly stale; still the queue keeps serving one
+        // per pop until only sheds remain, and never drops the last.
+        let mut served = 0u64;
+        let mut now = 1_000_000u64; // 1 ms: far beyond target + interval
+        let mut total_dropped = 0u64;
+        while !q.is_empty() {
+            let (dropped, head) = q.pop_at(SimTime::from_nanos(now));
+            total_dropped += dropped.len() as u64;
+            if head.is_some() {
+                served += 1;
+            }
+            now += 200_000; // deep in the dropping episode
+        }
+        assert!(served >= 1, "progress guarantee violated");
+        assert!(total_dropped >= 1, "the law never engaged");
+        assert_eq!(q.shed_sojourn(), total_dropped);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// S3: CoDel never sheds when the queue is drained faster than
+        /// the target — arbitrary arrival gaps, every head popped within
+        /// the target sojourn.
+        #[test]
+        fn codel_never_sheds_fast_drains(
+            gaps in proptest::collection::vec(0u64..5_000, 1..40),
+            target_us in 10u64..1_000,
+        ) {
+            let cfg = CoDelConfig {
+                target: SimDuration::from_micros(target_us),
+                interval: SimDuration::from_micros(target_us * 10),
+            };
+            let mut q: RequestQueue = RequestQueue::new().with_codel(cfg);
+            let mut now = 0u64;
+            for (i, gap) in gaps.iter().enumerate() {
+                now += gap;
+                q.push(req_at(i as u64, now)).unwrap();
+                // Drain immediately: sojourn is 0 < target.
+                let (dropped, served) = q.pop_at(SimTime::from_nanos(now));
+                prop_assert!(dropped.is_empty());
+                prop_assert_eq!(served.unwrap().id, i as u64);
+            }
+            prop_assert_eq!(q.shed_sojourn(), 0);
+            prop_assert_eq!(q.shed(), 0);
+        }
+
+        /// Popping just under the target, even with backlog, never sheds.
+        #[test]
+        fn codel_never_sheds_below_target_with_backlog(
+            n in 2usize..30,
+            target_us in 50u64..500,
+        ) {
+            let cfg = CoDelConfig {
+                target: SimDuration::from_micros(target_us),
+                interval: SimDuration::from_micros(target_us * 4),
+            };
+            let mut q: RequestQueue = RequestQueue::new().with_codel(cfg);
+            for i in 0..n {
+                q.push(req_at(i as u64, (i as u64) * 10)).unwrap();
+            }
+            let mut served = 0usize;
+            while let (dropped, Some(head)) = {
+                // Serve each head one nanosecond under the target.
+                let head_at = q.iter().next().map(|r| r.enqueued_at.as_nanos());
+                match head_at {
+                    Some(at) => q.pop_at(SimTime::from_nanos(
+                        at + target_us * 1_000 - 1,
+                    )),
+                    None => (Vec::new(), None),
+                }
+            } {
+                prop_assert!(dropped.is_empty());
+                let _ = head;
+                served += 1;
+            }
+            prop_assert_eq!(served, n);
+            prop_assert_eq!(q.shed_sojourn(), 0);
+        }
+    }
+}

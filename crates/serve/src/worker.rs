@@ -1,0 +1,178 @@
+//! The per-model worker: queue → batch → launch → record.
+//!
+//! One [`Worker`] owns one stream on one device and serves one model.
+//! It is deployment-agnostic: the single-GPU server drives a vector of
+//! them directly, while the cluster wraps its own routing around the
+//! same lifecycle. Kernel traces are shared [`Arc`]s, so co-located
+//! workers of the same model reference one trace instead of carrying
+//! per-worker copies.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use krisp_models::{generate_trace, ModelKind, TraceConfig};
+use krisp_obs::{EventBus, EventKind};
+use krisp_runtime::{Runtime, StreamId};
+use krisp_sim::{KernelDesc, SimDuration, SimTime};
+
+use crate::queue::{InferenceRequest, RequestQueue};
+
+/// One model's serving state: its stream, trace, request queue, and the
+/// completion records the result layer later window-filters.
+pub struct Worker {
+    /// The runtime stream this worker launches on.
+    pub stream: StreamId,
+    /// The model this worker serves.
+    pub model: ModelKind,
+    /// Trace for the configured batch size (closed loop / Poisson),
+    /// shared across same-model workers.
+    pub trace: Arc<Vec<KernelDesc>>,
+    /// Traces per formed batch size (dynamic batching), filled lazily.
+    pub traces_by_batch: HashMap<u32, Arc<Vec<KernelDesc>>>,
+    /// Launch overhead the dynamic-batching traces are generated with.
+    pub launch_overhead: SimDuration,
+    /// The bounded request queue (with optional CoDel shedding).
+    pub queue: RequestQueue,
+    /// Enqueue times of samples awaiting batch formation (OpenBatched).
+    pub sample_queue: VecDeque<SimTime>,
+    /// Whether an inference run is in flight on this worker's stream.
+    pub busy: bool,
+    /// Request/sample start times of the in-flight run.
+    pub inflight_starts: Vec<SimTime>,
+    /// Kernel count of the in-flight run (its last tag + 1).
+    pub inflight_kernels: usize,
+    /// (completion time, latency ms) per finished request or sample.
+    pub records: Vec<(SimTime, f64)>,
+    /// Next request/sample id this worker will assign.
+    pub next_request_id: u64,
+    /// Event bus tagged with this worker's index (disabled by default).
+    pub bus: EventBus,
+    /// Queued requests dropped for exceeding the deadline.
+    pub timed_out: u64,
+    /// Requests whose final kernel the watchdog abandoned.
+    pub failed_requests: u64,
+    /// Kernels the watchdog abandoned on this worker's stream.
+    pub failed_kernels: u64,
+}
+
+impl Worker {
+    /// An idle worker serving `model` on `stream` with the given trace,
+    /// queue, and event bus.
+    pub fn new(
+        stream: StreamId,
+        model: ModelKind,
+        trace: Arc<Vec<KernelDesc>>,
+        launch_overhead: SimDuration,
+        queue: RequestQueue,
+        bus: EventBus,
+    ) -> Worker {
+        Worker {
+            stream,
+            model,
+            trace,
+            traces_by_batch: HashMap::new(),
+            launch_overhead,
+            queue,
+            sample_queue: VecDeque::new(),
+            busy: false,
+            inflight_starts: Vec::new(),
+            inflight_kernels: 0,
+            records: Vec::new(),
+            next_request_id: 0,
+            bus,
+            timed_out: 0,
+            failed_requests: 0,
+            failed_kernels: 0,
+        }
+    }
+
+    /// Pops the next request still worth serving: CoDel (when the queue
+    /// carries one) sheds heads with excessive sojourn, then queued
+    /// requests that already exceeded the deadline are dropped.
+    pub fn pop_runnable(
+        &mut self,
+        now: SimTime,
+        deadline: Option<SimDuration>,
+    ) -> Option<InferenceRequest> {
+        loop {
+            let (dropped, head) = self.queue.pop_at(now);
+            for d in dropped {
+                let depth = self.queue.len() as u32;
+                self.bus.emit(now.as_nanos(), || EventKind::RequestShed {
+                    request_id: d.id,
+                    depth,
+                });
+            }
+            let req = head?;
+            let waited = now.saturating_since(req.enqueued_at);
+            if deadline.is_some_and(|d| waited > d) {
+                self.timed_out += 1;
+                self.bus
+                    .emit(now.as_nanos(), || EventKind::RequestTimedOut {
+                        request_id: req.id,
+                        waited_ns: waited.as_nanos(),
+                    });
+                continue;
+            }
+            return Some(req);
+        }
+    }
+
+    /// Starts one whole request of the configured batch size.
+    pub fn start_inference(&mut self, rt: &mut Runtime, started: SimTime) {
+        debug_assert!(!self.busy);
+        self.busy = true;
+        self.inflight_kernels = self.trace.len();
+        self.inflight_starts = vec![started];
+        for (i, k) in self.trace.iter().enumerate() {
+            rt.launch(self.stream, k.clone(), i as u64);
+        }
+    }
+
+    /// Dynamic batching: forms and launches a batch when the front-end
+    /// policy (full batch or aged head-of-line sample) allows.
+    pub fn try_form_batch(
+        &mut self,
+        rt: &mut Runtime,
+        now: SimTime,
+        max_batch: u32,
+        batch_timeout: SimDuration,
+    ) {
+        if self.busy {
+            return;
+        }
+        let Some(&oldest) = self.sample_queue.front() else {
+            return;
+        };
+        let full = self.sample_queue.len() >= max_batch as usize;
+        let aged = now.saturating_since(oldest) >= batch_timeout;
+        if !(full || aged) {
+            return;
+        }
+        let take = self.sample_queue.len().min(max_batch as usize);
+        let starts: Vec<SimTime> = self.sample_queue.drain(..take).collect();
+        let batch = take as u32;
+        self.bus.emit(now.as_nanos(), || EventKind::BatchFormed {
+            batch,
+            waited_ns: now.saturating_since(oldest).as_nanos(),
+        });
+        let model = self.model;
+        let overhead = self.launch_overhead;
+        let trace = Arc::clone(self.traces_by_batch.entry(batch).or_insert_with(|| {
+            Arc::new(generate_trace(
+                model,
+                &TraceConfig {
+                    batch,
+                    launch_overhead: overhead,
+                    ..TraceConfig::default()
+                },
+            ))
+        }));
+        self.busy = true;
+        self.inflight_kernels = trace.len();
+        self.inflight_starts = starts;
+        for (i, k) in trace.iter().enumerate() {
+            rt.launch(self.stream, k.clone(), i as u64);
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Configuration for one multi-GPU serving experiment.
+
+use krisp::Policy;
+use krisp_models::ModelKind;
+use krisp_runtime::WatchdogConfig;
+use krisp_sim::{FaultPlan, GpuTopology, SimDuration, SimTime};
+
+use super::health::BreakerConfig;
+use super::hedge::HedgeConfig;
+
+/// How the front-end picks a GPU for an arriving request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Routing {
+    /// Cycle through GPUs regardless of load.
+    RoundRobin,
+    /// Send to the GPU with the fewest outstanding requests for the
+    /// request's model (queued + in flight). Ties resolve to the lowest
+    /// GPU index, so same-seed runs route identically.
+    LeastOutstanding,
+}
+
+/// A scripted whole-GPU crash (the worker process dies and restarts).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrashScript {
+    /// The GPU that crashes.
+    pub gpu: usize,
+    /// When it crashes.
+    pub at: SimTime,
+    /// How long it stays down before re-warming.
+    pub down_for: SimDuration,
+}
+
+/// Configuration of a multi-GPU serving experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterConfig {
+    /// Number of identical GPUs.
+    pub gpus: usize,
+    /// Spatial-partitioning policy on every GPU.
+    pub policy: Policy,
+    /// Models served; every GPU hosts one worker per model.
+    pub models: Vec<ModelKind>,
+    /// Batch size per request.
+    pub batch: u32,
+    /// Cluster-wide Poisson arrival rate per model, requests/s.
+    pub rps_per_model: f64,
+    /// Router strategy.
+    pub routing: Routing,
+    /// Device shape.
+    pub topology: GpuTopology,
+    /// RNG seed.
+    pub seed: u64,
+    /// Simulated horizon: arrivals stop after this.
+    pub horizon: SimDuration,
+    /// Per-GPU deterministic fault schedules (`(gpu index, plan)`).
+    pub faults: Vec<(usize, FaultPlan)>,
+    /// Kernel watchdog on every GPU (`None` disables it).
+    pub watchdog: Option<WatchdogConfig>,
+    /// Bounds each worker queue; pushes beyond are shed.
+    pub queue_capacity: Option<usize>,
+    /// Queueing deadline: a request that waited longer is retried once
+    /// on another GPU, then dropped.
+    pub deadline: Option<SimDuration>,
+    /// Circuit breaker (`None` disables ejection).
+    pub breaker: Option<BreakerConfig>,
+    /// Scripted whole-GPU crash.
+    pub crash: Option<CrashScript>,
+    /// Hedged dispatch of stragglers (`None` disables hedging).
+    pub hedge: Option<HedgeConfig>,
+}
+
+impl ClusterConfig {
+    /// A sensible default cluster: KRISP-I, least-outstanding routing.
+    pub fn new(gpus: usize, models: Vec<ModelKind>, rps_per_model: f64) -> ClusterConfig {
+        ClusterConfig {
+            gpus,
+            policy: Policy::KrispI,
+            models,
+            batch: 32,
+            rps_per_model,
+            routing: Routing::LeastOutstanding,
+            topology: GpuTopology::MI50,
+            seed: 0xC1A5,
+            horizon: SimDuration::from_secs(5),
+            faults: Vec::new(),
+            watchdog: None,
+            queue_capacity: None,
+            deadline: None,
+            breaker: None,
+            crash: None,
+            hedge: None,
+        }
+    }
+}

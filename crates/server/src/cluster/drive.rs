@@ -1,0 +1,615 @@
+//! The cluster dispatcher: GPU bring-up, routing, and the per-event
+//! logic behind the shared serving engine's conservative event loop.
+//!
+//! [`run_cluster_observed`] builds one `ClusterEngine` and hands it to
+//! [`krisp_serve_core::engine::drive`]; the engine's
+//! [`Dispatcher`] implementation encodes the cluster's tie-breaks
+//! (crash ≥ hedge ≥ arrival ≥ GPU event at equal instants) so same-seed
+//! runs replay bit-identically.
+
+use std::cmp::Reverse;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use krisp::{KrispAllocator, Policy};
+use krisp_models::{generate_trace, TraceConfig};
+use krisp_obs::{EventBus, EventKind, Obs};
+use krisp_runtime::{KrispError, PartitionMode, RequiredCusTable, RtEvent, Runtime, RuntimeConfig};
+use krisp_serve_core::engine::{drive, Dispatcher, ExternalArrival};
+use krisp_serve_core::poisson_arrivals;
+use krisp_sim::{CuMask, KernelDesc, SimTime};
+
+use super::config::{ClusterConfig, CrashScript, Routing};
+use super::health::{apply_crash, finish_restart, maybe_begin_restart, note_failure, GpuHealth};
+use super::hedge::{fire_hedge, HedgeState};
+use super::result::{self, ClusterResult, ClusterRobustness};
+use crate::request::{RequestQueue, Sojourn};
+
+/// A request waiting at (or running on) a GPU worker.
+#[derive(Debug, Clone, Copy)]
+pub(super) struct QueuedReq {
+    pub(super) id: u64,
+    /// Original arrival at the front-end (latency reference).
+    pub(super) arrival: SimTime,
+    /// Last enqueue instant (deadline reference; reset on retry).
+    pub(super) enqueued: SimTime,
+    pub(super) retried: bool,
+}
+
+impl Sojourn for QueuedReq {
+    fn enqueued_at(&self) -> SimTime {
+        self.enqueued
+    }
+}
+
+pub(super) struct GpuWorker {
+    pub(super) stream: krisp_runtime::StreamId,
+    pub(super) trace_len: usize,
+    pub(super) inflight: Option<QueuedReq>,
+    /// Tag base of the in-flight run (tags are `base..base + trace_len`),
+    /// so completions of runs discarded by a crash are not misattributed.
+    pub(super) inflight_base: u64,
+    pub(super) launched_runs: u64,
+    pub(super) queue: RequestQueue<QueuedReq>,
+    pub(super) outstanding: usize,
+}
+
+pub(super) struct Gpu {
+    pub(super) rt: Runtime,
+    /// Worker per model (same index as `ClusterConfig::models`).
+    pub(super) workers: Vec<GpuWorker>,
+    pub(super) stream_to_worker: HashMap<krisp_runtime::StreamId, usize>,
+    pub(super) health: GpuHealth,
+    /// Failures counted toward the breaker threshold.
+    pub(super) failures: u32,
+    /// True while the breaker holds the GPU out (cleared on reset).
+    pub(super) tripped: bool,
+    pub(super) bus: EventBus,
+}
+
+impl Gpu {
+    pub(super) fn routable(&self) -> bool {
+        matches!(self.health, GpuHealth::Healthy | GpuHealth::Degraded)
+    }
+
+    pub(super) fn set_health(&mut self, health: GpuHealth, gi: usize, now: SimTime) {
+        if self.health != health {
+            self.health = health;
+            self.bus.emit(now.as_nanos(), || EventKind::WorkerHealth {
+                gpu: gi as u32,
+                state: health.code(),
+            });
+        }
+    }
+}
+
+pub(super) const TOKEN_RESTART: u64 = 0x7000_0000_0000_0000;
+
+/// All per-run state of the multi-GPU cluster: the GPUs, the router's
+/// round-robin cursor, the crash/hedge control plane, and the running
+/// books. Implements [`Dispatcher`] so the shared engine can drive it.
+pub(super) struct ClusterEngine<'a> {
+    pub(super) config: &'a ClusterConfig,
+    pub(super) gpus: Vec<Gpu>,
+    pub(super) masks: Option<Vec<CuMask>>,
+    pub(super) traces: Vec<Vec<KernelDesc>>,
+    pub(super) rob: ClusterRobustness,
+    pub(super) rr_next: usize,
+    pub(super) latencies_ms: Vec<f64>,
+    pub(super) per_gpu: Vec<usize>,
+    pub(super) pending_crash: Option<CrashScript>,
+    pub(super) hedge: HedgeState,
+    pub(super) drained: u64,
+    pub(super) horizon_end: SimTime,
+    pub(super) total_arrivals: u64,
+}
+
+impl Dispatcher for ClusterEngine<'_> {
+    /// The control plane merges the crash script and the hedge timers;
+    /// on a tie the crash fires first (see [`Dispatcher::step_control`]).
+    fn next_control_at(&self) -> Option<SimTime> {
+        let crash = self.pending_crash.map(|c| c.at);
+        let hedge = self.hedge.pending.peek().map(|Reverse((t, ..))| *t);
+        match (crash, hedge) {
+            (None, None) => None,
+            (Some(t), None) | (None, Some(t)) => Some(t),
+            (Some(tc), Some(th)) => Some(tc.min(th)),
+        }
+    }
+
+    fn step_control(&mut self) {
+        // The crash is applied before any same-instant hedge (and the
+        // engine already orders control before same-instant arrivals and
+        // GPU events), so routing at that instant avoids the dead GPU.
+        let crash_at = self.pending_crash.map(|c| c.at);
+        let hedge_at = self.hedge.pending.peek().map(|Reverse((t, ..))| *t);
+        let crash_first = match (crash_at, hedge_at) {
+            (Some(tc), Some(th)) => tc <= th,
+            (Some(_), None) => true,
+            _ => false,
+        };
+        if crash_first {
+            let crash = self.pending_crash.take().expect("checked above");
+            apply_crash(&mut self.gpus, &crash, &mut self.rob, &mut self.hedge);
+        } else if let Some(Reverse((at, id, mi, primary, arrival))) = self.hedge.pending.pop() {
+            fire_hedge(
+                &mut self.gpus,
+                id,
+                mi,
+                primary,
+                arrival,
+                at,
+                &mut self.rob,
+                &mut self.hedge,
+            );
+        }
+    }
+
+    fn next_device_at(&self) -> Option<SimTime> {
+        self.gpus.iter().filter_map(|g| g.rt.next_event_at()).min()
+    }
+
+    /// Steps the GPU with the globally earliest pending event (lowest
+    /// index on ties, so same-seed runs replay identically).
+    fn step_device(&mut self) -> bool {
+        let Some((_, gi)) = (0..self.gpus.len())
+            .filter_map(|i| self.gpus[i].rt.next_event_at().map(|t| (t, i)))
+            .min()
+        else {
+            return false;
+        };
+        self.handle_gpu_event(gi);
+        true
+    }
+
+    /// Routes an arrival to a GPU — all GPUs are quiesced up to the
+    /// arrival instant, so worker states are current — and arms its
+    /// hedge timer if hedging is configured.
+    fn on_arrival(&mut self, arrival: ExternalArrival) {
+        let ExternalArrival {
+            at: ta,
+            model: mi,
+            id,
+        } = arrival;
+        let config = self.config;
+        let gpus = &mut self.gpus;
+        let rr_next = &mut self.rr_next;
+        let gi = match config.routing {
+            Routing::RoundRobin => {
+                let mut pick = None;
+                for _ in 0..config.gpus {
+                    *rr_next = (*rr_next + 1) % config.gpus;
+                    if gpus[*rr_next].routable() {
+                        pick = Some(*rr_next);
+                        break;
+                    }
+                }
+                pick
+            }
+            Routing::LeastOutstanding => route_least_outstanding(gpus, mi, None),
+        }
+        // With every GPU down, fall back to the least-loaded one:
+        // the request waits out the restart instead of vanishing.
+        .unwrap_or_else(|| {
+            (0..config.gpus)
+                .min_by_key(|&g| gpus[g].workers[mi].outstanding)
+                .expect("at least one GPU")
+        });
+        let req = QueuedReq {
+            id,
+            arrival: ta,
+            enqueued: ta,
+            retried: false,
+        };
+        let admitted = enqueue(&mut gpus[gi], mi, req, ta);
+        if admitted {
+            if let Some(h) = config.hedge {
+                self.hedge
+                    .pending
+                    .push(Reverse((ta + h.delay, id, mi, gi, ta)));
+            }
+        }
+    }
+}
+
+impl ClusterEngine<'_> {
+    /// Steps one GPU's runtime and reacts to what it produced: deferred
+    /// starts, completions (with hedge settlement and horizon
+    /// accounting), kernel/CU failures, and restart timers.
+    fn handle_gpu_event(&mut self, gi: usize) {
+        let horizon_end = self.horizon_end;
+        let ClusterEngine {
+            config,
+            gpus,
+            masks,
+            traces,
+            rob,
+            latencies_ms,
+            per_gpu,
+            hedge,
+            drained,
+            ..
+        } = self;
+        match gpus[gi].rt.step() {
+            Some(RtEvent::TimerFired { token, at }) if token == TOKEN_RESTART => {
+                finish_restart(gpus, gi, at, config, masks, traces, rob, hedge);
+            }
+            Some(RtEvent::TimerFired { token, at }) => {
+                let mi = token as usize;
+                try_start(gpus, gi, mi, at, config, traces, rob, hedge);
+            }
+            Some(RtEvent::KernelCompleted { stream, tag, at }) => {
+                let mi = gpus[gi].stream_to_worker[&stream];
+                let w = &mut gpus[gi].workers[mi];
+                let done = w
+                    .inflight
+                    .filter(|_| tag + 1 == w.inflight_base + w.trace_len as u64);
+                if let Some(req) = done {
+                    w.inflight = None;
+                    w.outstanding -= 1;
+                    match hedge.settle_completion(req.id) {
+                        // A copy that lost the hedge race: discard.
+                        None => {}
+                        Some(was_hedged) => {
+                            if was_hedged {
+                                rob.hedge_wins += 1;
+                                gpus[gi].bus.emit(at.as_nanos(), || EventKind::HedgeWon {
+                                    request_id: req.id,
+                                    gpu: gi as u32,
+                                });
+                            }
+                            // Only completions inside the horizon
+                            // count: the post-horizon backlog drain
+                            // would inflate throughput beyond
+                            // capacity.
+                            if at <= horizon_end {
+                                latencies_ms.push(at.saturating_since(req.arrival).as_millis_f64());
+                                per_gpu[gi] += 1;
+                            } else {
+                                *drained += 1;
+                            }
+                        }
+                    }
+                    if at <= horizon_end {
+                        try_start(gpus, gi, mi, at, config, traces, rob, hedge);
+                    }
+                    maybe_begin_restart(&mut gpus[gi], gi, at, config);
+                }
+            }
+            Some(RtEvent::KernelFailed {
+                stream, tag, at, ..
+            }) => {
+                rob.failed_kernels += 1;
+                let mi = gpus[gi].stream_to_worker[&stream];
+                let w = &mut gpus[gi].workers[mi];
+                let fatal = w
+                    .inflight
+                    .filter(|_| tag + 1 == w.inflight_base + w.trace_len as u64);
+                if let Some(req) = fatal {
+                    // The request's final kernel died: this copy is
+                    // lost, the worker moves on. The request itself is
+                    // lost only if no hedge copy is still racing.
+                    w.inflight = None;
+                    w.outstanding -= 1;
+                    if hedge.settle_negative(req.id) {
+                        rob.failed_requests += 1;
+                    }
+                }
+                note_failure(gpus, gi, at, config, rob, hedge);
+                if fatal.is_some() {
+                    if gpus[gi].routable() && at <= horizon_end {
+                        try_start(gpus, gi, mi, at, config, traces, rob, hedge);
+                    }
+                    maybe_begin_restart(&mut gpus[gi], gi, at, config);
+                }
+            }
+            Some(RtEvent::CusFailed { at, .. }) => {
+                note_failure(gpus, gi, at, config, rob, hedge);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Runs a multi-GPU serving experiment.
+///
+/// # Panics
+///
+/// Panics if the configuration is degenerate (no GPUs, no models, a
+/// non-positive rate, or a crash script naming a GPU that does not
+/// exist).
+pub fn run_cluster(config: &ClusterConfig, perfdb: &RequiredCusTable) -> ClusterResult {
+    run_cluster_observed(config, perfdb, Obs::disabled())
+}
+
+/// [`run_cluster`] with observability: request retries, sheds, health
+/// transitions and breaker trips land on `obs.bus`, one logical track
+/// per GPU.
+///
+/// # Panics
+///
+/// Same conditions as [`run_cluster`].
+pub fn run_cluster_observed(
+    config: &ClusterConfig,
+    perfdb: &RequiredCusTable,
+    obs: Obs,
+) -> ClusterResult {
+    assert!(config.gpus > 0, "need at least one GPU");
+    assert!(!config.models.is_empty(), "need at least one model");
+    assert!(config.rps_per_model > 0.0, "need a positive arrival rate");
+    if let Some(c) = config.crash {
+        assert!(
+            c.gpu < config.gpus,
+            "crash names GPU {} of {}",
+            c.gpu,
+            config.gpus
+        );
+    }
+
+    let trace_cfg = TraceConfig::with_batch(config.batch);
+    let traces: Vec<Vec<KernelDesc>> = config
+        .models
+        .iter()
+        .map(|&m| generate_trace(m, &trace_cfg))
+        .collect();
+    let masks = policy_masks(config);
+    let mut rob = ClusterRobustness::default();
+
+    // --- Bring up the GPUs --------------------------------------------
+    // Every GPU reads the same perfdb; share one copy instead of cloning
+    // the table per device.
+    let shared_db = Arc::new(perfdb.clone());
+    let gpus: Vec<Gpu> = (0..config.gpus)
+        .map(|gi| {
+            let mode = if config.policy.is_kernel_scoped() {
+                PartitionMode::KernelScopedNative
+            } else {
+                PartitionMode::StreamMasking
+            };
+            let limit = config
+                .policy
+                .overlap_limit(&config.topology)
+                .unwrap_or(config.topology.total_cus());
+            let faults = config
+                .faults
+                .iter()
+                .find(|(g, _)| *g == gi)
+                .map(|(_, p)| p.clone())
+                .unwrap_or_default();
+            let mut rt = Runtime::new(RuntimeConfig {
+                topology: config.topology,
+                mode,
+                allocator: Box::new(KrispAllocator::new(limit)),
+                perfdb: Arc::clone(&shared_db),
+                seed: config.seed ^ (gi as u64) << 32,
+                jitter_sigma: 0.03,
+                faults: Arc::new(faults),
+                watchdog: config.watchdog,
+                ..RuntimeConfig::default()
+            });
+            let workers: Vec<GpuWorker> = traces
+                .iter()
+                .map(|t| GpuWorker {
+                    stream: rt.create_stream(),
+                    trace_len: t.len(),
+                    inflight: None,
+                    inflight_base: 0,
+                    launched_runs: 0,
+                    queue: config
+                        .queue_capacity
+                        .map_or_else(RequestQueue::new, RequestQueue::bounded),
+                    outstanding: 0,
+                })
+                .collect();
+            if let Some(masks) = &masks {
+                apply_masks(&mut rt, &workers, masks, &mut rob.errors);
+            }
+            let stream_to_worker = workers
+                .iter()
+                .enumerate()
+                .map(|(i, w)| (w.stream, i))
+                .collect();
+            Gpu {
+                rt,
+                workers,
+                stream_to_worker,
+                health: GpuHealth::Healthy,
+                failures: 0,
+                tripped: false,
+                bus: obs.bus.for_worker(gi as u32),
+            }
+        })
+        .collect();
+
+    // --- Global arrival stream ----------------------------------------
+    let arrivals = poisson_arrivals(
+        config.seed ^ 0xA11A,
+        config.models.len(),
+        config.rps_per_model,
+        config.horizon,
+    );
+
+    // --- Conservative multi-machine event loop -------------------------
+    let mut engine = ClusterEngine {
+        config,
+        per_gpu: vec![0usize; config.gpus],
+        gpus,
+        masks,
+        traces,
+        rob,
+        rr_next: 0,
+        latencies_ms: Vec::new(),
+        pending_crash: config.crash,
+        hedge: HedgeState::default(),
+        drained: 0,
+        horizon_end: SimTime::ZERO + config.horizon,
+        total_arrivals: arrivals.len() as u64,
+    };
+    drive(&mut engine, arrivals);
+    result::finish(engine)
+}
+
+/// The stream masks a policy pins at startup (`None` for kernel-scoped
+/// and MPS-default policies).
+fn policy_masks(config: &ClusterConfig) -> Option<Vec<CuMask>> {
+    match config.policy {
+        Policy::StaticEqual => Some(krisp::static_equal_masks(
+            config.models.len(),
+            &config.topology,
+        )),
+        Policy::ModelRightSize => {
+            let sizes: Vec<u16> = config
+                .models
+                .iter()
+                .map(|&m| crate::experiment::model_right_size(m, config.batch, &config.topology))
+                .collect();
+            Some(krisp::prior_work_partitions(&sizes, &config.topology))
+        }
+        _ => None,
+    }
+}
+
+/// Applies (or re-warms) the pinned stream masks, recording failures as
+/// typed errors instead of panicking.
+pub(super) fn apply_masks(
+    rt: &mut Runtime,
+    workers: &[GpuWorker],
+    masks: &[CuMask],
+    errors: &mut Vec<String>,
+) {
+    for (w, mask) in workers.iter().zip(masks) {
+        if let Err(e) = rt.set_stream_mask(w.stream, *mask) {
+            errors.push(KrispError::from(e).to_string());
+        }
+    }
+}
+
+/// Least-outstanding routing over the routable GPUs; ties resolve to
+/// the lowest GPU index (deterministic for same-seed runs).
+pub(super) fn route_least_outstanding(
+    gpus: &[Gpu],
+    mi: usize,
+    exclude: Option<usize>,
+) -> Option<usize> {
+    (0..gpus.len())
+        .filter(|&g| Some(g) != exclude && gpus[g].routable())
+        .min_by_key(|&g| gpus[g].workers[mi].outstanding)
+}
+
+/// Enqueues at a specific GPU and schedules the deferred start on the
+/// GPU's own timeline. Returns false when the bounded queue shed the
+/// request (the queue's own shed counter is aggregated at the end of
+/// the run — the single source of truth for capacity sheds).
+pub(super) fn enqueue(gpu: &mut Gpu, mi: usize, req: QueuedReq, now: SimTime) -> bool {
+    let w = &mut gpu.workers[mi];
+    let id = req.id;
+    if w.queue.push(req).is_err() {
+        let depth = w.queue.len() as u32;
+        gpu.bus.emit(now.as_nanos(), || EventKind::RequestShed {
+            request_id: id,
+            depth,
+        });
+        return false;
+    }
+    w.outstanding += 1;
+    if w.inflight.is_none() && gpu.health != GpuHealth::Restarting {
+        // Defer the actual launch into the GPU's own timeline.
+        let delay = now.saturating_since(gpu.rt.now());
+        gpu.rt.add_timer(delay, mi as u64);
+    }
+    true
+}
+
+/// Starts the worker's next viable request: copies that already lost a
+/// hedge race are cancelled, expired ones are retried on another GPU
+/// (once) or dropped; `Restarting` GPUs never start.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn try_start(
+    gpus: &mut [Gpu],
+    gi: usize,
+    mi: usize,
+    now: SimTime,
+    config: &ClusterConfig,
+    traces: &[Vec<KernelDesc>],
+    rob: &mut ClusterRobustness,
+    hedge: &mut HedgeState,
+) {
+    if gpus[gi].workers[mi].inflight.is_some() || gpus[gi].health == GpuHealth::Restarting {
+        return;
+    }
+    loop {
+        let Some(req) = gpus[gi].workers[mi].queue.pop() else {
+            return;
+        };
+        if hedge.done.contains(&req.id) {
+            // A copy whose request was already settled elsewhere:
+            // first-wins cancel, no counter moves.
+            gpus[gi].workers[mi].outstanding -= 1;
+            continue;
+        }
+        let waited = now.saturating_since(req.enqueued);
+        if config.deadline.is_some_and(|d| waited > d) {
+            gpus[gi].workers[mi].outstanding -= 1;
+            retry_or_drop(gpus, gi, mi, req, now, rob, hedge);
+            continue;
+        }
+        let w = &mut gpus[gi].workers[mi];
+        let base = w.launched_runs * w.trace_len as u64;
+        w.launched_runs += 1;
+        w.inflight_base = base;
+        w.inflight = Some(req);
+        let stream = w.stream;
+        for (i, k) in traces[mi].iter().enumerate() {
+            gpus[gi].rt.launch(stream, k.clone(), base + i as u64);
+        }
+        return;
+    }
+}
+
+/// Moves a request whose deadline (or GPU) expired to another GPU; a
+/// request only gets one move before it is dropped. The retry target
+/// must have queue room — a retry never sheds, so the capacity-shed
+/// counter stays a pure arrival count.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn retry_or_drop(
+    gpus: &mut [Gpu],
+    from: usize,
+    mi: usize,
+    mut req: QueuedReq,
+    now: SimTime,
+    rob: &mut ClusterRobustness,
+    hedge: &mut HedgeState,
+) {
+    let target = route_least_outstanding(gpus, mi, Some(from)).filter(|&g| {
+        gpus[g].workers[mi]
+            .queue
+            .capacity()
+            .is_none_or(|cap| gpus[g].workers[mi].queue.len() < cap)
+    });
+    if req.retried || target.is_none() {
+        if hedge.settle_negative(req.id) {
+            rob.timed_out += 1;
+            let waited = now.saturating_since(req.arrival);
+            gpus[from]
+                .bus
+                .emit(now.as_nanos(), || EventKind::RequestTimedOut {
+                    request_id: req.id,
+                    waited_ns: waited.as_nanos(),
+                });
+        }
+        return;
+    }
+    let Some(to) = target else {
+        return;
+    };
+    rob.retried += 1;
+    gpus[from]
+        .bus
+        .emit(now.as_nanos(), || EventKind::RequestRetried {
+            request_id: req.id,
+            to_gpu: to as u32,
+        });
+    req.retried = true;
+    req.enqueued = now; // fresh deadline budget on the new GPU
+    enqueue(&mut gpus[to], mi, req, now);
+}

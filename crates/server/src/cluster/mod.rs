@@ -1,0 +1,41 @@
+//! Multi-GPU inference serving: several simulated GPUs behind one
+//! request router — the ScaleServe-style deployment the paper's server
+//! framework comes from, with KRISP running independently on every
+//! device.
+//!
+//! Each GPU is its own [`krisp_runtime::Runtime`] (own clock, queues,
+//! energy meter); the cluster driver synchronizes them
+//! **conservatively** through the shared serving engine
+//! ([`krisp_serve_core::engine::drive`]): the entity with the globally
+//! earliest pending event always steps first, so routing decisions made
+//! at an arrival instant observe every GPU's true state at that instant.
+//! The cluster-specific behavior — routing, health, hedging — lives in
+//! the `drive` module's [`krisp_serve_core::engine::Dispatcher`]
+//! implementation.
+//!
+//! ## Health-aware serving
+//!
+//! Every GPU carries a [`GpuHealth`] state. Watchdog-abandoned kernels
+//! and CU failures move a GPU from `Healthy` to `Degraded`; once its
+//! failure count reaches the [`BreakerConfig`] threshold the circuit
+//! breaker trips, the GPU stops receiving new requests (`Draining`),
+//! finishes what is in flight, `Restarting` re-warms its stream masks,
+//! and the breaker resets. A scripted [`CrashScript`] models a worker
+//! process dying outright: in-flight requests are lost, queued requests
+//! are retried on surviving GPUs, and the GPU re-warms after its
+//! downtime. Per-request deadlines get one retry on another GPU before
+//! the request is dropped.
+
+pub mod config;
+pub mod drive;
+pub mod health;
+pub mod hedge;
+pub mod result;
+#[cfg(test)]
+mod tests;
+
+pub use config::{ClusterConfig, CrashScript, Routing};
+pub use drive::{run_cluster, run_cluster_observed};
+pub use health::{BreakerConfig, GpuHealth};
+pub use hedge::HedgeConfig;
+pub use result::{ClusterResult, ClusterRobustness};

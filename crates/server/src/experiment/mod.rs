@@ -1,0 +1,26 @@
+//! The experiment harness: sets up workers under a partitioning policy,
+//! drives the simulated server, and measures throughput / tail latency /
+//! energy inside a warmup-delimited window.
+//!
+//! Split by concern, with the event loop itself shared through
+//! [`krisp_serve_core::engine::drive`]:
+//!
+//! - [`config`] — [`ServerConfig`] and the policy/enforcement knobs.
+//! - [`perfdb`] — the oracle Required-CUs table and model-wise knees.
+//! - [`drive`] — the single-GPU dispatcher behind
+//!   [`krisp_serve_core::engine::Dispatcher`] and the
+//!   [`run_server`] / [`run_server_observed`] entry points.
+//! - [`result`] — window filtering and conservation-book assembly into
+//!   [`crate::metrics::ExperimentResult`].
+
+pub mod config;
+pub mod drive;
+pub mod perfdb;
+pub mod result;
+
+#[cfg(test)]
+mod tests;
+
+pub use config::{Arrival, KrispEnforcement, RightSizeSource, ServerConfig};
+pub use drive::{run_server, run_server_observed};
+pub use perfdb::{model_right_size, oracle_perfdb};

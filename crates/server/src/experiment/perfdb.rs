@@ -1,0 +1,37 @@
+//! Right-size tables: the oracle Required-CUs table for tests and the
+//! model-wise kneepoints prior works profile offline.
+
+use krisp::{knee_from_curve, KNEE_TOLERANCE};
+use krisp_models::{analytic_latency, generate_trace, ModelKind, TraceConfig};
+use krisp_runtime::RequiredCusTable;
+use krisp_sim::{GpuTopology, SimDuration};
+
+/// Builds a Required-CUs table directly from the workload generators'
+/// ground-truth parallelism knees, skipping the measurement sweeps.
+///
+/// The real profiling pass ([`krisp::Profiler::build_perfdb`]) recovers
+/// values close to these (validated by the profiler's tests and the
+/// Fig 6 harness); the oracle keeps unit tests fast. Experiment binaries
+/// use the measured table.
+pub fn oracle_perfdb(kinds: &[ModelKind], batches: &[u32]) -> RequiredCusTable {
+    let mut table = RequiredCusTable::new();
+    for &kind in kinds {
+        for &batch in batches {
+            for k in generate_trace(kind, &TraceConfig::with_batch(batch)) {
+                table.insert(&k, k.parallelism);
+            }
+        }
+    }
+    table
+}
+
+/// Model-wise right-size at a batch size, from the analytic
+/// resource-latency curve (the knee prior works profile offline).
+pub fn model_right_size(kind: ModelKind, batch: u32, topo: &GpuTopology) -> u16 {
+    let cfg = TraceConfig::with_batch(batch);
+    let trace = generate_trace(kind, &cfg);
+    let curve: Vec<(u16, SimDuration)> = (1..=topo.total_cus())
+        .map(|n| (n, analytic_latency(&trace, n, cfg.launch_overhead)))
+        .collect();
+    knee_from_curve(&curve, KNEE_TOLERANCE)
+}

@@ -1,0 +1,114 @@
+//! Property tests for the shared serving engine: whatever the seeded
+//! configuration — policy, load, guardrails, faults, crashes — every
+//! request an experiment admits must be accounted for exactly once in
+//! the result's conservation books.
+
+use proptest::prelude::*;
+
+use krisp::Policy;
+use krisp_models::ModelKind;
+use krisp_runtime::WatchdogConfig;
+use krisp_server::{
+    oracle_perfdb, run_cluster, run_server, Arrival, ClusterConfig, CrashScript, HedgeConfig,
+    Routing, SentinelConfig, ServerConfig,
+};
+use krisp_sim::{FaultPlan, SimDuration, SimTime};
+
+const MODEL_POOL: [ModelKind; 3] = [ModelKind::Squeezenet, ModelKind::Albert, ModelKind::Alexnet];
+
+fn models_strategy() -> impl Strategy<Value = Vec<ModelKind>> {
+    proptest::collection::vec(
+        (0usize..MODEL_POOL.len()).prop_map(|i| MODEL_POOL[i]),
+        1..=2,
+    )
+}
+
+fn policy_strategy() -> impl Strategy<Value = Policy> {
+    (0usize..Policy::ALL.len()).prop_map(|i| Policy::ALL[i])
+}
+
+/// `Some(value)` half the time — the shim has no `prop::option::of`.
+fn maybe<S: Strategy>(value: S) -> impl Strategy<Value = Option<S::Value>> {
+    (proptest::bool::ANY, value).prop_map(|(some, v)| some.then_some(v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random single-GPU server configs through the engine: the sampled
+    /// flow books always balance (arrivals = admitted + sheds; admitted
+    /// = completions + drops + in-flight).
+    #[test]
+    fn server_flow_books_conserve(
+        policy in policy_strategy(),
+        models in models_strategy(),
+        seed in 0u64..u64::MAX,
+        rps in 20.0f64..400.0,
+        cap in maybe(1usize..16),
+        deadline_ms in maybe(5u64..60),
+        sentinel in proptest::bool::ANY,
+    ) {
+        let db = oracle_perfdb(&MODEL_POOL, &[32]);
+        let mut cfg = ServerConfig::closed_loop(policy, models, 32);
+        cfg.arrival = Arrival::Poisson { rps_per_worker: rps };
+        cfg.seed = seed;
+        cfg.queue_capacity = cap;
+        cfg.deadline = deadline_ms.map(SimDuration::from_millis);
+        if sentinel && cfg.deadline.is_some() {
+            cfg.sentinel = Some(SentinelConfig::standard(rps));
+        }
+        cfg.warmup = Some(SimDuration::from_millis(30));
+        cfg.duration = Some(SimDuration::from_millis(250));
+        let r = run_server(&cfg, &db);
+        let flow = r.flow.expect("engine always keeps flow books");
+        prop_assert!(flow.conserved(), "books out of balance: {flow:?}");
+    }
+
+    /// Random cluster configs — routing, crashes, hedging, straggler
+    /// faults — through the engine: every front-end arrival is
+    /// completed, drained, shed, timed out, failed, or left over.
+    #[test]
+    fn cluster_books_conserve(
+        gpus in 1usize..=3,
+        models in models_strategy(),
+        seed in 0u64..u64::MAX,
+        rps in 20.0f64..300.0,
+        round_robin in proptest::bool::ANY,
+        cap in maybe(2usize..16),
+        deadline_ms in maybe(10u64..80),
+        crash in proptest::bool::ANY,
+        hedge in proptest::bool::ANY,
+        straggle in proptest::bool::ANY,
+    ) {
+        let db = oracle_perfdb(&MODEL_POOL, &[32]);
+        let mut cfg = ClusterConfig::new(gpus, models, rps);
+        cfg.seed = seed;
+        cfg.horizon = SimDuration::from_millis(400);
+        cfg.routing = if round_robin { Routing::RoundRobin } else { Routing::LeastOutstanding };
+        cfg.queue_capacity = cap;
+        cfg.deadline = deadline_ms.map(SimDuration::from_millis);
+        if crash && gpus > 1 {
+            cfg.crash = Some(CrashScript {
+                gpu: gpus - 1,
+                at: SimTime::ZERO + SimDuration::from_millis(150),
+                down_for: SimDuration::from_millis(100),
+            });
+        }
+        if hedge {
+            cfg.hedge = Some(HedgeConfig { delay: SimDuration::from_millis(25) });
+        }
+        if straggle {
+            cfg.faults = vec![(
+                0,
+                FaultPlan::new().straggle_all(
+                    SimTime::ZERO + SimDuration::from_millis(100),
+                    50.0,
+                    SimDuration::from_millis(150),
+                ),
+            )];
+            cfg.watchdog = Some(WatchdogConfig::default());
+        }
+        let r = run_cluster(&cfg, &db);
+        prop_assert!(r.conserved(), "books out of balance: {r:?}");
+    }
+}

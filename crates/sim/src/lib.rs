@@ -68,7 +68,7 @@ pub mod wg_engine;
 mod kernel;
 
 pub use allocator::{FullMaskAllocator, MaskAllocator};
-pub use codel::{CoDel, CoDelConfig};
+pub use codel::{CoDel, CoDelConfig, Sojourn};
 pub use counters::CuKernelCounters;
 pub use engine::{Engine, KernelId};
 pub use fault::{FaultEvent, FaultKind, FaultPlan};

@@ -32,6 +32,7 @@
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 use std::fmt;
+use std::sync::Arc;
 
 use krisp_obs::{EventKind, Obs};
 use rand::rngs::StdRng;
@@ -40,7 +41,7 @@ use rand::{Rng, SeedableRng};
 use crate::allocator::MaskAllocator;
 use crate::counters::CuKernelCounters;
 use crate::engine::{Engine, KernelId};
-use crate::fault::{FaultEvent, FaultKind, FaultPlan};
+use crate::fault::{FaultKind, FaultPlan};
 use crate::kernel::KernelDesc;
 use crate::mask::CuMask;
 use crate::power::{EnergyMeter, PowerModel};
@@ -109,10 +110,12 @@ pub struct MachineConfig {
     /// Observability handles (event bus + metrics). Disabled by default;
     /// when disabled every instrumentation site is a single branch.
     pub obs: Obs,
-    /// Deterministic fault schedule. Empty by default; an empty plan is
+    /// Deterministic fault schedule, shared read-only (hosts driving
+    /// many machines hand every machine the same [`Arc`] instead of
+    /// cloning the plan per device). Empty by default; an empty plan is
     /// zero-cost and leaves every run bit-identical (no timers, no RNG
     /// draws, no mask changes).
-    pub faults: FaultPlan,
+    pub faults: Arc<FaultPlan>,
 }
 
 impl fmt::Debug for MachineConfig {
@@ -142,7 +145,7 @@ impl Default for MachineConfig {
             jitter_sigma: 0.0,
             sharing_penalty: crate::contention::DEFAULT_SHARING_PENALTY,
             obs: Obs::disabled(),
-            faults: FaultPlan::new(),
+            faults: Arc::new(FaultPlan::new()),
         }
     }
 }
@@ -285,7 +288,7 @@ pub struct Machine {
 
     // Fault-injection state. All empty/zero for an empty plan, in which
     // case every check below short-circuits on an `is_empty` branch.
-    faults: Vec<FaultEvent>,
+    faults: Arc<FaultPlan>,
     failed_cus: CuMask,
     stalled_until: HashMap<QueueId, SimTime>,
     straggles: Vec<StraggleWindow>,
@@ -327,7 +330,6 @@ impl fmt::Debug for Machine {
 impl Machine {
     /// Creates a machine from a configuration.
     pub fn new(config: MachineConfig) -> Machine {
-        let fault_events: Vec<FaultEvent> = config.faults.events().to_vec();
         let mut machine = Machine {
             topology: config.topology,
             power: config.power,
@@ -349,7 +351,7 @@ impl Machine {
             waiting_on_signal: HashMap::new(),
             completed_signals: HashSet::new(),
             next_signal: 0,
-            faults: fault_events,
+            faults: config.faults,
             failed_cus: CuMask::EMPTY,
             stalled_until: HashMap::new(),
             straggles: Vec::new(),
@@ -360,8 +362,8 @@ impl Machine {
         };
         // One internal timer per scheduled fault. An empty plan schedules
         // nothing, keeping fault-free runs bit-identical.
-        for i in 0..machine.faults.len() {
-            let at = machine.faults[i].at;
+        for i in 0..machine.faults.events().len() {
+            let at = machine.faults.events()[i].at;
             machine.push_timer(at, TimerKind::Fault(i));
         }
         machine
@@ -939,7 +941,7 @@ impl Machine {
 
     /// Applies the `idx`-th fault-plan entry at its scheduled instant.
     fn inject_fault(&mut self, idx: usize) {
-        let fault = self.faults[idx].clone();
+        let fault = self.faults.events()[idx].clone();
         match fault.kind {
             FaultKind::FailCus { mask } => {
                 let newly = mask - self.failed_cus;
@@ -1292,10 +1294,10 @@ mod tests {
     #[test]
     fn failing_cus_slows_inflight_kernels_and_masks_survivors() {
         let mut m = Machine::new(MachineConfig {
-            faults: FaultPlan::new().fail_cus(
+            faults: Arc::new(FaultPlan::new().fail_cus(
                 SimTime::from_nanos(55_000),
                 CuMask::first_n(15, &GpuTopology::MI50),
-            ),
+            )),
             ..MachineConfig::default()
         });
         let q = m.create_queue();
@@ -1337,8 +1339,9 @@ mod tests {
     #[test]
     fn queue_mask_fully_dead_falls_back_to_healthy_cus() {
         let mut m = Machine::new(MachineConfig {
-            faults: FaultPlan::new()
-                .fail_cus(SimTime::ZERO, CuMask::first_n(15, &GpuTopology::MI50)),
+            faults: Arc::new(
+                FaultPlan::new().fail_cus(SimTime::ZERO, CuMask::first_n(15, &GpuTopology::MI50)),
+            ),
             ..MachineConfig::default()
         });
         let q = m.create_queue();
@@ -1360,11 +1363,11 @@ mod tests {
     #[test]
     fn stalled_queue_defers_the_next_packet() {
         let mut m = Machine::new(MachineConfig {
-            faults: FaultPlan::new().stall_queue(
+            faults: Arc::new(FaultPlan::new().stall_queue(
                 SimTime::from_nanos(10_000),
                 QueueId(0),
                 SimDuration::from_nanos(200_000),
-            ),
+            )),
             ..MachineConfig::default()
         });
         let q = m.create_queue();
@@ -1386,7 +1389,11 @@ mod tests {
     #[test]
     fn straggler_window_elongates_dispatched_kernels() {
         let mut m = Machine::new(MachineConfig {
-            faults: FaultPlan::new().straggle_all(SimTime::ZERO, 2.0, SimDuration::from_millis(1)),
+            faults: Arc::new(FaultPlan::new().straggle_all(
+                SimTime::ZERO,
+                2.0,
+                SimDuration::from_millis(1),
+            )),
             ..MachineConfig::default()
         });
         let q = m.create_queue();
@@ -1406,11 +1413,11 @@ mod tests {
     #[test]
     fn mask_apply_rejection_window_fails_then_recovers() {
         let mut m = Machine::new(MachineConfig {
-            faults: FaultPlan::new().reject_mask_apply(
+            faults: Arc::new(FaultPlan::new().reject_mask_apply(
                 SimTime::ZERO,
                 QueueId(0),
                 SimDuration::from_nanos(10_000),
-            ),
+            )),
             ..MachineConfig::default()
         });
         let q = m.create_queue();

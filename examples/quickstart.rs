@@ -22,7 +22,7 @@ fn main() {
     let mut rt = Runtime::new(RuntimeConfig {
         mode: PartitionMode::KernelScopedNative,
         allocator: Box::new(KrispAllocator::isolated()),
-        perfdb,
+        perfdb: std::sync::Arc::new(perfdb),
         ..RuntimeConfig::default()
     });
 

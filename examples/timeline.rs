@@ -16,7 +16,7 @@ fn record(mode: PartitionMode, title: &str) {
     let mut rt = Runtime::new(RuntimeConfig {
         mode,
         allocator: Box::new(KrispAllocator::isolated()),
-        perfdb,
+        perfdb: std::sync::Arc::new(perfdb),
         ..RuntimeConfig::default()
     });
     // Two streams: a spiky transformer and a fat CNN.

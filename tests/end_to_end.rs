@@ -64,8 +64,9 @@ fn krisp_i_masks_never_overlap_across_streams() {
     };
     let ka = KernelDesc::new("a", 5.0e6, 25).with_grid_threads(1);
     let kb = KernelDesc::new("b", 5.0e6, 25).with_grid_threads(2);
-    config.perfdb.insert(&ka, 25);
-    config.perfdb.insert(&kb, 25);
+    let perfdb = std::sync::Arc::make_mut(&mut config.perfdb);
+    perfdb.insert(&ka, 25);
+    perfdb.insert(&kb, 25);
     let mut rt = Runtime::new(config);
     let sa = rt.create_stream();
     let sb = rt.create_stream();
@@ -130,7 +131,7 @@ fn native_krisp_is_cheaper_than_emulated_krisp() {
         let mut rt = Runtime::new(RuntimeConfig {
             mode,
             allocator: Box::new(KrispAllocator::isolated()),
-            perfdb: db.clone(),
+            perfdb: std::sync::Arc::new(db.clone()),
             jitter_sigma: 0.0,
             ..RuntimeConfig::default()
         });
