@@ -1,17 +1,34 @@
 //! Regenerates every table and figure of the paper, in order.
+//!
+//! Experiments that need no measured perfdb are independent of each
+//! other, so their `report()` functions run through `parallel_map` and
+//! the rendered reports are printed in the original sequential order —
+//! stdout is byte-identical to the pre-parallel harness. Everything
+//! downstream of `measured_perfdb` stays sequential: those experiments
+//! share on-disk profile caches and feed the summary.
 fn main() {
-    krisp_bench::tables12::run();
-    krisp_bench::fig03::run();
-    krisp_bench::table3::run();
-    krisp_bench::fig04::run();
-    krisp_bench::fig06::run();
-    krisp_bench::fig07::run();
-    krisp_bench::fig08::run();
+    type Job = Box<dyn FnOnce() -> String + Send>;
+    let jobs: Vec<Job> = vec![
+        Box::new(krisp_bench::tables12::report),
+        Box::new(|| krisp_bench::fig03::report().0),
+        Box::new(|| krisp_bench::table3::report().0),
+        Box::new(|| krisp_bench::fig04::report().0),
+        Box::new(|| krisp_bench::fig06::report().0),
+        Box::new(krisp_bench::fig07::report),
+        Box::new(|| krisp_bench::fig08::report().0),
+        Box::new(|| krisp_bench::validation::report().0),
+    ];
+    let mut reports = krisp_bench::parallel_map(jobs, |job| job());
+    // Validation prints at its original slot, after fig 1/2.
+    let validation_report = reports.pop().expect("eight phase-A jobs");
+    for report in &reports {
+        print!("{report}");
+    }
     let db = krisp_bench::measured_perfdb(&[32]);
     krisp_bench::fig01::run(&db);
     let db_fig02 = krisp_bench::measured_perfdb(&[4, 32]);
     krisp_bench::fig02::run(&db_fig02);
-    krisp_bench::validation::run();
+    print!("{validation_report}");
     krisp_bench::fig12::run(&db);
     krisp_bench::fig13::run(&db);
     krisp_bench::table4::run(&db);

@@ -8,7 +8,9 @@ use krisp::{Policy, Profiler};
 use krisp_models::{paper_profile, ModelKind};
 use krisp_server::{oracle_perfdb, run_server, ServerConfig};
 
-use crate::{header, save_json};
+use std::fmt::Write as _;
+
+use crate::{header_text, save_json};
 
 /// One model's sweep, as persisted to `results/fig03.json`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -40,10 +42,18 @@ fn tail_p95(model: ModelKind, cus: u16) -> f64 {
 
 /// Runs the Fig 3 sweep for all models and prints selected points.
 pub fn run() -> Vec<Curve> {
-    header("Fig 3: model sensitivity to CU restriction (batch 32, isolated)");
+    let (text, curves) = report();
+    print!("{text}");
+    curves
+}
+
+/// Runs the Fig 3 sweep and renders the report without printing.
+pub fn report() -> (String, Vec<Curve>) {
+    let mut out = header_text("Fig 3: model sensitivity to CU restriction (batch 32, isolated)");
     let profiler = Profiler::default();
     let mut curves = Vec::new();
-    println!(
+    let _ = writeln!(
+        out,
         "{:<12} {:>7} {:>9} | normalized throughput at CUs = 5 10 15 20 30 45 60",
         "model", "knee", "paper-rs"
     );
@@ -68,7 +78,8 @@ pub fn run() -> Vec<Curve> {
             })
             .collect();
         let tail_cells: Vec<String> = tails.iter().map(|&(_, p)| format!("{p:.0}")).collect();
-        println!(
+        let _ = writeln!(
+            out,
             "{:<12} {:>7} {:>9} | {} | p95 ms: {}",
             model.name(),
             c.knee,
@@ -89,11 +100,12 @@ pub fn run() -> Vec<Curve> {
         });
     }
     save_json("fig03.json", &curves);
-    println!(
+    let _ = writeln!(
+        out,
         "\nshape check: albert tolerates deep restriction (knee {}) with a stable tail;\n\
          vgg19 needs the whole GPU (knee {}) and its p95 grows immediately.",
         curves[0].knee,
         curves.last().expect("8 models").knee
     );
-    curves
+    (out, curves)
 }

@@ -6,7 +6,9 @@ use serde::{Deserialize, Serialize};
 
 use krisp_models::{generate_trace, ModelKind, TraceConfig};
 
-use crate::{header, save_json};
+use std::fmt::Write as _;
+
+use crate::{header_text, save_json};
 
 /// A persisted kernel trace.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -30,14 +32,22 @@ fn sparkline(values: &[u16]) -> String {
 
 /// Prints both traces as sparklines and phase statistics.
 pub fn run() -> Vec<Trace> {
-    header("Fig 4: kernel-wise minimum required CUs within an inference pass");
-    let mut out = Vec::new();
+    let (text, traces) = report();
+    print!("{text}");
+    traces
+}
+
+/// Computes both traces and renders the report without printing.
+pub fn report() -> (String, Vec<Trace>) {
+    let mut out = header_text("Fig 4: kernel-wise minimum required CUs within an inference pass");
+    let mut traces = Vec::new();
     for model in [ModelKind::Albert, ModelKind::Resnext101] {
         let trace = generate_trace(model, &TraceConfig::default());
         let min_cus: Vec<u16> = trace.iter().map(|k| k.parallelism).collect();
         let low = min_cus.iter().filter(|&&p| p <= 20).count();
         let high = min_cus.iter().filter(|&&p| p >= 40).count();
-        println!(
+        let _ = writeln!(
+            out,
             "\n{} — {} kernels, {} need <=20 CUs, {} need >=40 CUs",
             model,
             min_cus.len(),
@@ -46,12 +56,13 @@ pub fn run() -> Vec<Trace> {
         );
         // Print the first 120 kernels as a sparkline (1 char per kernel).
         let head = &min_cus[..min_cus.len().min(120)];
-        println!("first {} kernels: {}", head.len(), sparkline(head));
-        out.push(Trace { model, min_cus });
+        let _ = writeln!(out, "first {} kernels: {}", head.len(), sparkline(head));
+        traces.push(Trace { model, min_cus });
     }
-    save_json("fig04.json", &out);
-    println!(
+    save_json("fig04.json", &traces);
+    let _ = writeln!(
+        out,
         "\nshape check: albert is a low band with periodic tall spikes; resnext101 is mostly tall."
     );
-    out
+    (out, traces)
 }

@@ -10,7 +10,9 @@ use serde::{Deserialize, Serialize};
 use krisp::Profiler;
 use krisp_models::library::{catalogue, MI50_MAX_THREADS};
 
-use crate::{header, save_json};
+use std::fmt::Write as _;
+
+use crate::{header_text, save_json};
 
 /// One profiled point of the scatter.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -38,7 +40,14 @@ fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
 
 /// Profiles the catalogue and prints the Fig 6 evidence.
 pub fn run() -> Vec<Point> {
-    header("Fig 6: min required CUs vs kernel size (a) and input size (b)");
+    let (text, points) = report();
+    print!("{text}");
+    points
+}
+
+/// Profiles the catalogue and renders the report without printing.
+pub fn report() -> (String, Vec<Point>) {
+    let mut out = header_text("Fig 6: min required CUs vs kernel size (a) and input size (b)");
     let profiler = Profiler::default();
     let points: Vec<Point> = crate::parallel_map(catalogue(), |k| {
         let p = profiler.profile_kernel(&k);
@@ -55,7 +64,8 @@ pub fn run() -> Vec<Point> {
     let mut names: Vec<&str> = points.iter().map(|p| p.name.as_str()).collect();
     names.sort_unstable();
     names.dedup();
-    println!(
+    let _ = writeln!(
+        out,
         "{:<34} {:>5} {:>9} {:>9} {:>12}",
         "kernel", "count", "minCU lo", "minCU hi", "grid median"
     );
@@ -65,7 +75,8 @@ pub fn run() -> Vec<Point> {
         cus.sort_unstable();
         let mut grids: Vec<u64> = group.iter().map(|p| p.grid_threads).collect();
         grids.sort_unstable();
-        println!(
+        let _ = writeln!(
+            out,
             "{:<34} {:>5} {:>9} {:>9} {:>12}",
             name,
             group.len(),
@@ -82,14 +93,19 @@ pub fn run() -> Vec<Point> {
         .iter()
         .filter(|p| p.grid_threads > MI50_MAX_THREADS && p.min_cus < 20)
         .count();
-    println!(
+    let _ = writeln!(
+        out,
         "\ncorrelation(min CU, kernel size) = {:.2}; correlation(min CU, input size) = {:.2}",
         pearson(&xs, &ys),
         pearson(&ins, &ys)
     );
-    println!(
+    let _ = writeln!(
+        out,
         "{oversized_small} kernels exceed the MI50's {MI50_MAX_THREADS}-thread capacity yet need <20 CUs"
     );
-    println!("shape check: weak size correlation; kernel type dominates (flat-60 asm conv rows).");
-    points
+    let _ = writeln!(
+        out,
+        "shape check: weak size correlation; kernel type dominates (flat-60 asm conv rows)."
+    );
+    (out, points)
 }

@@ -4,22 +4,34 @@
 use krisp::{select_cus, DistributionPolicy};
 use krisp_sim::GpuTopology;
 
-use crate::header;
+use std::fmt::Write as _;
+
+use crate::header_text;
 
 /// Prints the Fig 7 illustration as ASCII SE maps.
 pub fn run() {
-    header("Fig 7: allocating 19 CUs across 4 SEs under three distribution policies");
+    print!("{}", report());
+}
+
+/// Renders the Fig 7 illustration without printing.
+pub fn report() -> String {
+    let mut out =
+        header_text("Fig 7: allocating 19 CUs across 4 SEs under three distribution policies");
     let topo = GpuTopology::MI50;
     for policy in DistributionPolicy::ALL {
         let mask = select_cus(policy, 19, &topo);
-        println!("\n{policy}:");
+        let _ = writeln!(out, "\n{policy}:");
         for se in topo.ses() {
             let row: String = topo
                 .cus_in_se(se)
                 .map(|cu| if mask.contains(cu) { '#' } else { '.' })
                 .collect();
-            println!("  {se}: {row}  ({} CUs)", mask.count_in_se(&topo, se));
+            let _ = writeln!(out, "  {se}: {row}  ({} CUs)", mask.count_in_se(&topo, se));
         }
     }
-    println!("\nshape check: packed = 15+4, distributed = 5+5+5+4, conserved = 10+9.");
+    let _ = writeln!(
+        out,
+        "\nshape check: packed = 15+4, distributed = 5+5+5+4, conserved = 10+9."
+    );
+    out
 }

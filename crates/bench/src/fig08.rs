@@ -9,7 +9,9 @@ use krisp::{select_cus, DistributionPolicy};
 use krisp_runtime::{Runtime, RuntimeConfig};
 use krisp_sim::{GpuTopology, KernelDesc};
 
-use crate::{header, save_json};
+use std::fmt::Write as _;
+
+use crate::{header_text, save_json};
 
 /// One sweep point.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -49,9 +51,18 @@ fn measure(policy: DistributionPolicy, cus: u16) -> Point {
 
 /// Runs the Fig 8 sweep and prints latency/energy columns per policy.
 pub fn run() -> Vec<Point> {
-    header("Fig 8: vector-multiply kernel vs active CUs, three distribution policies");
+    let (text, points) = report();
+    print!("{text}");
+    points
+}
+
+/// Runs the Fig 8 sweep and renders the report without printing.
+pub fn report() -> (String, Vec<Point>) {
+    let mut out =
+        header_text("Fig 8: vector-multiply kernel vs active CUs, three distribution policies");
     let mut points = Vec::new();
-    println!(
+    let _ = writeln!(
+        out,
         "{:>4} | {:>12} {:>12} {:>12} | {:>10} {:>10} {:>10}",
         "CUs", "dist us", "packed us", "conserv us", "dist mJ", "packed mJ", "conserv mJ"
     );
@@ -60,7 +71,8 @@ pub fn run() -> Vec<Point> {
             .iter()
             .map(|&p| measure(p, cus))
             .collect();
-        println!(
+        let _ = writeln!(
+            out,
             "{:>4} | {:>12.1} {:>12.1} {:>12.1} | {:>10.3} {:>10.3} {:>10.3}",
             cus,
             row[0].latency_us,
@@ -81,16 +93,18 @@ pub fn run() -> Vec<Point> {
             .expect("swept")
             .latency_us
     };
-    println!("\nshape checks:");
+    let _ = writeln!(out, "\nshape checks:");
     for n in [16u16, 31, 46] {
-        println!(
+        let _ = writeln!(
+            out,
             "  packed spike at {n}: {:.0} us vs conserved {:.0} us",
             lat(DistributionPolicy::Packed, n),
             lat(DistributionPolicy::Conserved, n)
         );
     }
     for n in [15u16, 11, 7] {
-        println!(
+        let _ = writeln!(
+            out,
             "  distributed step at {n}: {:.0} us vs conserved {:.0} us",
             lat(DistributionPolicy::Distributed, n),
             lat(DistributionPolicy::Conserved, n)
@@ -103,12 +117,13 @@ pub fn run() -> Vec<Point> {
             .expect("swept")
             .energy_mj
     };
-    println!(
+    let _ = writeln!(
+        out,
         "  energy at 40 CUs: conserved {:.3} mJ vs distributed {:.3} mJ ({:.1}% saving)",
         e(DistributionPolicy::Conserved, 40),
         e(DistributionPolicy::Distributed, 40),
         100.0
             * (1.0 - e(DistributionPolicy::Conserved, 40) / e(DistributionPolicy::Distributed, 40))
     );
-    points
+    (out, points)
 }

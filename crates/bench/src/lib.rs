@@ -340,7 +340,14 @@ pub fn policy_sweep(batch: u32, perfdb: &RequiredCusTable) -> Sweep {
 
 /// Pretty separator line for the textual reports.
 pub fn header(title: &str) {
-    println!("\n=== {title} ===");
+    print!("{}", header_text(title));
+}
+
+/// [`header`] as a string — seed for reports assembled off the main
+/// thread (the `report()` functions `run_all` computes in parallel and
+/// prints in original order).
+pub fn header_text(title: &str) -> String {
+    format!("\n=== {title} ===\n")
 }
 
 /// Per-model maximum worker count without SLO violation under one policy

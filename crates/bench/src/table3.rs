@@ -10,7 +10,9 @@ use krisp_runtime::RequiredCusTable;
 use krisp_server::{model_right_size, run_server, ServerConfig};
 use krisp_sim::GpuTopology;
 
-use crate::{header, save_json};
+use std::fmt::Write as _;
+
+use crate::{header_text, save_json};
 
 /// One measured Table III row.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -33,10 +35,20 @@ pub struct Row {
 
 /// Regenerates Table III and prints paper-vs-measured.
 pub fn run() -> Vec<Row> {
-    header("Table III: models, kernel counts, right-size, isolated 95% latency (batch 32)");
+    let (text, rows) = report();
+    print!("{text}");
+    rows
+}
+
+/// Regenerates Table III and renders the report without printing.
+pub fn report() -> (String, Vec<Row>) {
+    let mut out = header_text(
+        "Table III: models, kernel counts, right-size, isolated 95% latency (batch 32)",
+    );
     let topo = GpuTopology::MI50;
     let empty_db = RequiredCusTable::new();
-    println!(
+    let _ = writeln!(
+        out,
         "{:<12} {:>8} {:>8} | {:>5} {:>5} | {:>9} {:>9}",
         "model", "kernels", "(paper)", "rsCU", "(ppr)", "p95 ms", "(paper)"
     );
@@ -50,7 +62,8 @@ pub fn run() -> Vec<Row> {
             &empty_db,
         );
         let p95 = iso.max_p95_ms().expect("isolated completes");
-        println!(
+        let _ = writeln!(
+            out,
             "{:<12} {:>8} {:>8} | {:>5} {:>5} | {:>9.1} {:>9.1}",
             model.name(),
             trace.len(),
@@ -71,5 +84,5 @@ pub fn run() -> Vec<Row> {
         });
     }
     save_json("table3.json", &rows);
-    rows
+    (out, rows)
 }

@@ -2,7 +2,9 @@
 //! mechanisms and spatially partitioned inference servers, encoded as
 //! data so the comparison the paper draws stays checkable in code.
 
-use crate::header;
+use std::fmt::Write as _;
+
+use crate::header_text;
 
 /// One row of Table I.
 #[derive(Debug, Clone, Copy)]
@@ -134,13 +136,20 @@ pub const TABLE2: [ServerRow; 4] = [
 
 /// Prints both taxonomy tables.
 pub fn run() {
-    header("Table I: GPU spatial partitioning techniques");
-    println!(
+    print!("{}", report());
+}
+
+/// Renders both taxonomy tables without printing.
+pub fn report() -> String {
+    let mut out = header_text("Table I: GPU spatial partitioning techniques");
+    let _ = writeln!(
+        out,
         "{:<42} {:<8} {:<4} {:<16} {:<8} {:<15} {:<7} {:<5}",
         "Mechanism", "Scope", "Enf", "Transparent", "Cmp/Mem", "Granularity", "Reconf", "Over"
     );
     for r in TABLE1 {
-        println!(
+        let _ = writeln!(
+            out,
             "{:<42} {:<8} {:<4} {:<16} {:<8} {:<15} {:<7} {:<5}",
             r.mechanism,
             r.scope,
@@ -153,17 +162,22 @@ pub fn run() {
         );
     }
 
-    header("Table II: spatially partitioned GPU inference servers");
-    println!(
+    out.push_str(&header_text(
+        "Table II: spatially partitioned GPU inference servers",
+    ));
+    let _ = writeln!(
+        out,
         "{:<18} {:<34} {:<11} {:<40} {:<14} {:<7}",
         "Server", "Partitioning", "Granularity", "Metric", "Overhead", "Reload"
     );
     for r in TABLE2 {
-        println!(
+        let _ = writeln!(
+            out,
             "{:<18} {:<34} {:<11} {:<40} {:<14} {:<7}",
             r.server, r.partitioning, r.granularity, r.metric, r.overhead, r.reload
         );
     }
+    out
 }
 
 #[cfg(test)]

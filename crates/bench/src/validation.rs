@@ -7,7 +7,9 @@ use serde::{Deserialize, Serialize};
 use krisp::{select_cus, DistributionPolicy};
 use krisp_sim::{contention, CuMask, GpuTopology, WgEngine};
 
-use crate::{header, save_json};
+use std::fmt::Write as _;
+
+use crate::{header_text, save_json};
 
 /// One comparison point.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -42,7 +44,14 @@ fn discrete_us(work: f64, parallelism: u16, mask: CuMask, topo: &GpuTopology) ->
 /// Sweeps a device-wide kernel under every policy and CU count with both
 /// backends, printing the agreement statistics.
 pub fn run() -> Vec<Point> {
-    header("Model validation: fluid rates vs discrete workgroup scheduling");
+    let (text, points) = report();
+    print!("{text}");
+    points
+}
+
+/// Runs the validation sweep and renders the report without printing.
+pub fn report() -> (String, Vec<Point>) {
+    let mut out = header_text("Model validation: fluid rates vs discrete workgroup scheduling");
     let topo = GpuTopology::MI50;
     let (work, parallelism) = (6.0e6, 60u16);
     let mut points = Vec::new();
@@ -71,7 +80,8 @@ pub fn run() -> Vec<Point> {
         let min = rs.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = rs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let exact = rs.iter().filter(|&&r| (r - 1.0).abs() < 1e-6).count();
-        println!(
+        let _ = writeln!(
+            out,
             "{:<12} discrete/fluid ratio: min {:.3}, max {:.3}; exact agreement at {}/60 points",
             policy.name(),
             min,
@@ -83,12 +93,13 @@ pub fn run() -> Vec<Point> {
         .iter()
         .max_by(|a, b| a.ratio.partial_cmp(&b.ratio).expect("finite"))
         .expect("non-empty");
-    println!(
+    let _ = writeln!(
+        out,
         "\nworst divergence: {} at {} CUs (discrete {:.0} us vs fluid {:.0} us) — one\n\
          discretization wave; the fluid model never *under*-estimates latency.",
         worst.policy, worst.cus, worst.discrete_us, worst.fluid_us
     );
-    points
+    (out, points)
 }
 
 #[cfg(test)]

@@ -44,7 +44,10 @@ struct Entry {
 /// ```
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RequiredCusTable {
-    entries: HashMap<(String, u64, u64), u16>,
+    /// Nested by name so the serving hot path ([`RequiredCusTable::lookup`],
+    /// once per kernel launch) can probe by `&str` without cloning the
+    /// kernel name into an owned `(String, u64, u64)` key.
+    entries: HashMap<String, HashMap<(u64, u64), u16>>,
 }
 
 impl RequiredCusTable {
@@ -61,12 +64,18 @@ impl RequiredCusTable {
     /// Panics if `min_cus` is zero.
     pub fn insert(&mut self, kernel: &KernelDesc, min_cus: u16) -> Option<u16> {
         assert!(min_cus > 0, "a kernel needs at least one CU");
-        self.entries.insert(kernel.profile_key(), min_cus)
+        self.entries
+            .entry(kernel.name.clone())
+            .or_default()
+            .insert((kernel.grid_threads, kernel.input_bytes), min_cus)
     }
 
     /// The profiled minimum CUs for a kernel, if present.
     pub fn lookup(&self, kernel: &KernelDesc) -> Option<u16> {
-        self.entries.get(&kernel.profile_key()).copied()
+        self.entries
+            .get(kernel.name.as_str())?
+            .get(&(kernel.grid_threads, kernel.input_bytes))
+            .copied()
     }
 
     /// The profiled minimum CUs, falling back to `full` for unprofiled
@@ -105,7 +114,7 @@ impl RequiredCusTable {
 
     /// Number of profiled kernels.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.entries.values().map(HashMap::len).sum()
     }
 
     /// True if nothing has been profiled.
@@ -115,7 +124,9 @@ impl RequiredCusTable {
 
     /// Merges another table into this one (later entries win).
     pub fn merge(&mut self, other: RequiredCusTable) {
-        self.entries.extend(other.entries);
+        for (name, sizes) in other.entries {
+            self.entries.entry(name).or_default().extend(sizes);
+        }
     }
 
     /// Serializes the table to pretty JSON.
@@ -123,11 +134,13 @@ impl RequiredCusTable {
         let mut rows: Vec<Entry> = self
             .entries
             .iter()
-            .map(|((name, grid, input), &min_cus)| Entry {
-                name: name.clone(),
-                grid_threads: *grid,
-                input_bytes: *input,
-                min_cus,
+            .flat_map(|(name, sizes)| {
+                sizes.iter().map(|(&(grid, input), &min_cus)| Entry {
+                    name: name.clone(),
+                    grid_threads: grid,
+                    input_bytes: input,
+                    min_cus,
+                })
             })
             .collect();
         rows.sort_by(|a, b| {
@@ -147,7 +160,9 @@ impl RequiredCusTable {
         for e in rows {
             table
                 .entries
-                .insert((e.name, e.grid_threads, e.input_bytes), e.min_cus);
+                .entry(e.name)
+                .or_default()
+                .insert((e.grid_threads, e.input_bytes), e.min_cus);
         }
         Ok(table)
     }

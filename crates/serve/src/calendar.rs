@@ -1,0 +1,180 @@
+//! An invalidating next-event calendar for multi-device dispatchers.
+//!
+//! [`Dispatcher`](crate::engine::Dispatcher) implementations that own a
+//! fleet of devices answer `next_device_at` on every loop iteration; a
+//! naive implementation re-queries every device each time. The
+//! [`EventCalendar`] caches each device's next-event instant in a slot
+//! and only re-queries slots explicitly invalidated since the last
+//! refresh, so a quiescent fleet costs one comparison per loop
+//! iteration instead of a full scan.
+//!
+//! The dispatcher marks slots dirty from its `&mut self` methods (an
+//! arrival touches one device, a crash may touch any) and calls
+//! [`EventCalendar::refresh`] before returning, keeping the `&self`
+//! queries ([`EventCalendar::earliest`]) pure — the contract
+//! [`crate::engine::drive`] relies on. Ties resolve to the lowest slot
+//! index, matching the documented lowest-device-index ordering.
+
+use krisp_sim::SimTime;
+
+/// Cached per-device next-event instants with explicit invalidation.
+///
+/// # Examples
+///
+/// ```
+/// use krisp_serve_core::EventCalendar;
+/// use krisp_sim::SimTime;
+///
+/// let schedule = [Some(SimTime::from_nanos(30)), Some(SimTime::from_nanos(10))];
+/// let mut cal = EventCalendar::new(2);
+/// cal.refresh(|i| schedule[i]);
+/// assert_eq!(cal.earliest(), Some((SimTime::from_nanos(10), 1)));
+/// ```
+#[derive(Debug)]
+pub struct EventCalendar {
+    slots: Vec<Option<SimTime>>,
+    dirty: Vec<bool>,
+    any_dirty: bool,
+    earliest: Option<(SimTime, usize)>,
+}
+
+impl EventCalendar {
+    /// A calendar of `n` slots, all initially dirty (unknown).
+    pub fn new(n: usize) -> EventCalendar {
+        EventCalendar {
+            slots: vec![None; n],
+            dirty: vec![true; n],
+            any_dirty: n > 0,
+            earliest: None,
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when the calendar has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Marks one slot stale; the next [`EventCalendar::refresh`]
+    /// re-queries it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn invalidate(&mut self, i: usize) {
+        self.dirty[i] = true;
+        self.any_dirty = true;
+    }
+
+    /// Marks every slot stale (control-plane events may touch any
+    /// device).
+    pub fn invalidate_all(&mut self) {
+        self.dirty.fill(true);
+        self.any_dirty = !self.dirty.is_empty();
+    }
+
+    /// Re-queries every dirty slot via `next_at` and recomputes the
+    /// cached minimum. A call with nothing dirty is O(1).
+    pub fn refresh(&mut self, mut next_at: impl FnMut(usize) -> Option<SimTime>) {
+        if !self.any_dirty {
+            return;
+        }
+        for (i, dirty) in self.dirty.iter_mut().enumerate() {
+            if *dirty {
+                self.slots[i] = next_at(i);
+                *dirty = false;
+            }
+        }
+        self.any_dirty = false;
+        self.earliest = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.map(|t| (t, i)))
+            .min();
+    }
+
+    /// The earliest cached instant and its slot index (lowest index on
+    /// ties), or `None` when every slot is idle. Only meaningful after
+    /// [`EventCalendar::refresh`]; a query with dirty slots pending
+    /// returns the last refreshed view.
+    pub fn earliest(&self) -> Option<(SimTime, usize)> {
+        debug_assert!(!self.any_dirty, "earliest() queried with stale slots");
+        self.earliest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn earliest_picks_min_with_lowest_index_tie_break() {
+        let mut cal = EventCalendar::new(3);
+        cal.refresh(|i| [Some(t(20)), Some(t(10)), Some(t(10))][i]);
+        assert_eq!(cal.earliest(), Some((t(10), 1)));
+    }
+
+    #[test]
+    fn idle_slots_are_skipped() {
+        let mut cal = EventCalendar::new(3);
+        cal.refresh(|i| [None, Some(t(7)), None][i]);
+        assert_eq!(cal.earliest(), Some((t(7), 1)));
+        cal.invalidate(1);
+        cal.refresh(|_| None);
+        assert_eq!(cal.earliest(), None);
+    }
+
+    #[test]
+    fn refresh_only_queries_dirty_slots() {
+        let mut cal = EventCalendar::new(3);
+        cal.refresh(|i| Some(t(10 + i as u64)));
+        let mut queried = Vec::new();
+        cal.invalidate(2);
+        cal.refresh(|i| {
+            queried.push(i);
+            Some(t(5))
+        });
+        assert_eq!(queried, vec![2]);
+        assert_eq!(cal.earliest(), Some((t(5), 2)));
+    }
+
+    #[test]
+    fn invalidate_all_requeries_everything() {
+        let mut cal = EventCalendar::new(2);
+        cal.refresh(|_| Some(t(50)));
+        cal.invalidate_all();
+        let mut queried = 0;
+        cal.refresh(|i| {
+            queried += 1;
+            Some(t(40 + i as u64))
+        });
+        assert_eq!(queried, 2);
+        assert_eq!(cal.earliest(), Some((t(40), 0)));
+    }
+
+    #[test]
+    fn clean_refresh_is_a_no_op() {
+        let mut cal = EventCalendar::new(2);
+        cal.refresh(|_| Some(t(1)));
+        cal.refresh(|_| panic!("no slot is dirty"));
+        assert_eq!(cal.earliest(), Some((t(1), 0)));
+    }
+
+    #[test]
+    fn empty_calendar_is_idle() {
+        let mut cal = EventCalendar::new(0);
+        cal.refresh(|_| unreachable!());
+        assert_eq!(cal.earliest(), None);
+        assert!(cal.is_empty());
+        assert_eq!(cal.len(), 0);
+    }
+}

@@ -21,6 +21,12 @@
 //! The single-GPU server schedules its arrivals as runtime timers, so it
 //! runs [`drive`] with an empty arrival vector and no control events —
 //! the loop degenerates to stepping the device machine until drained.
+//!
+//! [`drive`] queries `next_device_at` once per loop iteration, so a
+//! multi-device dispatcher should not rescan its whole fleet on every
+//! call; [`crate::calendar::EventCalendar`] caches per-device next-event
+//! instants and re-queries only the devices a step actually touched,
+//! while keeping `next_device_at` the pure query this trait requires.
 
 use krisp_sim::SimTime;
 

@@ -22,6 +22,9 @@
 //!   deterministic Poisson stream generators.
 //! - [`worker`] — the per-model [`Worker`] lifecycle (queue → batch →
 //!   launch → record).
+//! - [`calendar`] — the invalidating [`EventCalendar`] multi-device
+//!   dispatchers use to answer `next_device_at` without re-scanning
+//!   every device per event.
 //! - [`engine`] — the conservative event loop ([`engine::drive`]) that
 //!   interleaves control events, external arrivals, and device events
 //!   behind the [`engine::Dispatcher`] trait.
@@ -35,6 +38,7 @@
 
 pub mod arrival;
 pub mod books;
+pub mod calendar;
 pub mod engine;
 pub mod queue;
 pub mod sentinel;
@@ -42,6 +46,7 @@ pub mod worker;
 
 pub use arrival::{exp_sample, poisson_arrivals, Arrival};
 pub use books::{FlowCounters, RobustnessCounters, SentinelCounters};
+pub use calendar::EventCalendar;
 pub use engine::{drive, Dispatcher, ExternalArrival};
 pub use queue::{InferenceRequest, RequestQueue, Sojourn};
 pub use sentinel::{

@@ -16,7 +16,7 @@ use krisp_models::{generate_trace, TraceConfig};
 use krisp_obs::{EventBus, EventKind, Obs};
 use krisp_runtime::{KrispError, PartitionMode, RequiredCusTable, RtEvent, Runtime, RuntimeConfig};
 use krisp_serve_core::engine::{drive, Dispatcher, ExternalArrival};
-use krisp_serve_core::poisson_arrivals;
+use krisp_serve_core::{poisson_arrivals, EventCalendar};
 use krisp_sim::{CuMask, KernelDesc, SimTime};
 
 use super::config::{ClusterConfig, CrashScript, Routing};
@@ -102,6 +102,10 @@ pub(super) struct ClusterEngine<'a> {
     pub(super) drained: u64,
     pub(super) horizon_end: SimTime,
     pub(super) total_arrivals: u64,
+    /// Cached per-GPU next-event instants. `next_device_at` must be a
+    /// pure query, so every `&mut self` dispatcher method refreshes the
+    /// calendar before returning (see [`ClusterEngine::refresh_calendar`]).
+    pub(super) calendar: EventCalendar,
 }
 
 impl Dispatcher for ClusterEngine<'_> {
@@ -143,22 +147,28 @@ impl Dispatcher for ClusterEngine<'_> {
                 &mut self.hedge,
             );
         }
+        // Crashes and hedges may touch any GPU's runtime.
+        self.calendar.invalidate_all();
+        self.refresh_calendar();
     }
 
     fn next_device_at(&self) -> Option<SimTime> {
-        self.gpus.iter().filter_map(|g| g.rt.next_event_at()).min()
+        self.calendar.earliest().map(|(t, _)| t)
     }
 
     /// Steps the GPU with the globally earliest pending event (lowest
-    /// index on ties, so same-seed runs replay identically).
+    /// index on ties, so same-seed runs replay identically — the
+    /// calendar resolves ties by lowest slot index, matching the
+    /// `(time, gpu)` min-scan it replaced).
     fn step_device(&mut self) -> bool {
-        let Some((_, gi)) = (0..self.gpus.len())
-            .filter_map(|i| self.gpus[i].rt.next_event_at().map(|t| (t, i)))
-            .min()
-        else {
+        let Some((_, gi)) = self.calendar.earliest() else {
             return false;
         };
         self.handle_gpu_event(gi);
+        // Completions can retry requests onto other GPUs and restarts
+        // touch health fleet-wide, so conservatively re-query everyone.
+        self.calendar.invalidate_all();
+        self.refresh_calendar();
         true
     }
 
@@ -209,10 +219,22 @@ impl Dispatcher for ClusterEngine<'_> {
                     .push(Reverse((ta + h.delay, id, mi, gi, ta)));
             }
         }
+        // Only the routed GPU's timeline changed (the hedge arm is
+        // control-plane state).
+        self.calendar.invalidate(gi);
+        self.refresh_calendar();
     }
 }
 
 impl ClusterEngine<'_> {
+    /// Re-queries every invalidated calendar slot. Cheap: the machine
+    /// answers `next_event_at` from its own memoized state, so even an
+    /// `invalidate_all` refresh is a handful of O(1) probes.
+    fn refresh_calendar(&mut self) {
+        let ClusterEngine { calendar, gpus, .. } = self;
+        calendar.refresh(|i| gpus[i].rt.next_event_at());
+    }
+
     /// Steps one GPU's runtime and reacts to what it produced: deferred
     /// starts, completions (with hedge settlement and horizon
     /// accounting), kernel/CU failures, and restart timers.
@@ -444,7 +466,9 @@ pub fn run_cluster_observed(
         drained: 0,
         horizon_end: SimTime::ZERO + config.horizon,
         total_arrivals: arrivals.len() as u64,
+        calendar: EventCalendar::new(config.gpus),
     };
+    engine.refresh_calendar();
     drive(&mut engine, arrivals);
     result::finish(engine)
 }

@@ -7,9 +7,26 @@
 //! This is the standard processor-sharing fluid model; it is exact for
 //! piecewise-constant rates, which is what CU masks give us.
 //!
+//! # Hot-path design
+//!
+//! Rates are maintained *incrementally*: each kernel caches its per-SE
+//! effective-capacity aggregates, and a dispatch/complete only re-rates
+//! the kernels whose masks intersect the changed CUs (a two-word bitset
+//! AND), recomputing only the SEs that actually overlap the change. This
+//! is bit-identical to a from-scratch [`contention::kernel_rate`] because
+//! a kernel's rate depends solely on the resident counts at its own mask
+//! CUs, and each affected SE aggregate is re-summed from scratch in
+//! ascending CU order (never adjusted by ± deltas, which would perturb
+//! f64 summation order). Occupancy queries ([`Engine::busy_cus`],
+//! [`Engine::busy_ses`]) are O(1) integer counters, and
+//! [`Engine::next_completion`] memoizes its scan behind an epoch counter
+//! bumped on every mutation, so repeated host queries between events are
+//! O(1).
+//!
 //! The engine knows nothing about queues, packets, or policies — the
 //! [`crate::Machine`] layers those on top.
 
+use std::cell::Cell;
 use std::fmt;
 
 use crate::contention;
@@ -35,6 +52,76 @@ struct ActiveKernel {
     bandwidth_floor: f64,
     remaining: f64,
     rate: f64,
+    /// Cached effective capacity per SE (ascending-order `cu_share` sum
+    /// over the mask's CUs in that SE); `f64::INFINITY` for SEs the mask
+    /// does not touch, so an unused entry can never win the min.
+    se_eff: Vec<f64>,
+}
+
+/// [`se_eff_sum`] memoized per distinct `mask ∩ SE` within one re-rate
+/// pass. The sum only reads the intersection's CUs, so equal
+/// intersections give equal bits and the memoized value *is* the
+/// from-scratch value. A linear scan beats hashing here: a pass sees a
+/// handful of distinct masks (one per co-resident policy partition).
+fn memo_se_eff(
+    scratch: &mut Vec<([u64; 2], f64)>,
+    mask_words: [u64; 2],
+    se_words: [u64; 2],
+    residents: &[u16],
+    gamma: f64,
+) -> f64 {
+    let key = [mask_words[0] & se_words[0], mask_words[1] & se_words[1]];
+    if let Some(&(_, sum)) = scratch.iter().find(|(k, _)| *k == key) {
+        return sum;
+    }
+    let sum = se_eff_sum(mask_words, se_words, residents, gamma);
+    scratch.push((key, sum));
+    sum
+}
+
+/// Sum of per-CU shares for the mask CUs inside one SE, walking set bits
+/// of `mask_words ∩ se_words` in ascending order — the exact summation
+/// order of the reference [`contention::kernel_rate`] path.
+fn se_eff_sum(mask_words: [u64; 2], se_words: [u64; 2], residents: &[u16], gamma: f64) -> f64 {
+    let mut sum = 0.0;
+    let mut w0 = mask_words[0] & se_words[0];
+    while w0 != 0 {
+        let cu = w0.trailing_zeros() as usize;
+        w0 &= w0 - 1;
+        sum += contention::cu_share(residents[cu], gamma);
+    }
+    let mut w1 = mask_words[1] & se_words[1];
+    while w1 != 0 {
+        let cu = 64 + w1.trailing_zeros() as usize;
+        w1 &= w1 - 1;
+        sum += contention::cu_share(residents[cu], gamma);
+    }
+    sum
+}
+
+/// The rate formula of [`contention::kernel_rate`] evaluated from a
+/// kernel's cached per-SE aggregates: `used` and the running min visit
+/// SEs in the same ascending order as the reference loop.
+fn cached_rate(k: &ActiveKernel, se_words: &[[u64; 2]]) -> f64 {
+    let w = k.mask.raw_words();
+    let mut used = 0u32;
+    let mut min_eff = f64::INFINITY;
+    for (se, sw) in se_words.iter().enumerate() {
+        if (w[0] & sw[0]) | (w[1] & sw[1]) == 0 {
+            continue;
+        }
+        used += 1;
+        let eff = k.se_eff[se];
+        if eff < min_eff {
+            min_eff = eff;
+        }
+    }
+    if used == 0 {
+        return 0.0;
+    }
+    let raw = used as f64 * min_eff;
+    raw.max(k.bandwidth_floor * k.parallelism as f64)
+        .min(k.parallelism as f64)
 }
 
 /// Execution state of all currently co-running kernels.
@@ -60,7 +147,33 @@ pub struct Engine {
     actives: Vec<ActiveKernel>,
     residents: Vec<u16>,
     next_id: u64,
+    /// Per-SE mask words (ascending SE order), precomputed once.
+    se_words: Vec<[u64; 2]>,
+    /// Number of busy CUs per SE, maintained on resident transitions.
+    se_busy: Vec<u16>,
+    busy_cus_count: u32,
+    busy_ses_count: u32,
+    /// Bumped on every mutation that can move a completion instant;
+    /// invalidates the memoized [`Engine::next_completion`] scan.
+    epoch: u64,
+    /// Number of kernel re-ratings performed since construction
+    /// (instrumentation for the incremental-core tests and benches).
+    rerates: u64,
+    /// `(epoch, now) -> next_completion` memo; `next_completion` takes
+    /// `&self`, hence the [`Cell`].
+    completion_memo: Cell<Option<CompletionMemo>>,
+    /// Per-SE memo of the distinct `mask ∩ SE` word pairs summed in the
+    /// current re-rate pass. Residents are fixed for the whole pass, so
+    /// kernels whose masks select the same CUs inside an SE have
+    /// *bitwise-identical* share sums — computed once, reused. Cleared
+    /// at the start of every pass ([`Engine::rerate_intersecting`]);
+    /// capacity persists so the hot path never allocates.
+    share_scratch: Vec<Vec<([u64; 2], f64)>>,
 }
+
+/// One memoized [`Engine::next_completion`] answer: the mutation epoch
+/// and query instant it was computed at, plus the result.
+type CompletionMemo = (u64, SimTime, Option<(SimTime, KernelId)>);
 
 /// Error returned by [`Engine::dispatch`] when a kernel cannot be started.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -104,6 +217,77 @@ impl Engine {
             actives: Vec::new(),
             residents: vec![0; topology.total_cus() as usize],
             next_id: 0,
+            se_words: topology.ses().map(|se| topology.se_words(se)).collect(),
+            se_busy: vec![0; topology.num_ses() as usize],
+            busy_cus_count: 0,
+            busy_ses_count: 0,
+            epoch: 0,
+            rerates: 0,
+            completion_memo: Cell::new(None),
+            share_scratch: vec![Vec::new(); topology.num_ses() as usize],
+        }
+    }
+
+    /// Adds one resident to a CU, maintaining the busy counters.
+    fn add_resident(&mut self, cu: usize) {
+        let r = &mut self.residents[cu];
+        *r += 1;
+        if *r == 1 {
+            self.busy_cus_count += 1;
+            let se = cu / self.topology.cus_per_se() as usize;
+            self.se_busy[se] += 1;
+            if self.se_busy[se] == 1 {
+                self.busy_ses_count += 1;
+            }
+        }
+    }
+
+    /// Removes one resident from a CU, maintaining the busy counters.
+    fn remove_resident(&mut self, cu: usize) {
+        let r = &mut self.residents[cu];
+        debug_assert!(*r > 0);
+        *r -= 1;
+        if *r == 0 {
+            self.busy_cus_count -= 1;
+            let se = cu / self.topology.cus_per_se() as usize;
+            self.se_busy[se] -= 1;
+            if self.se_busy[se] == 0 {
+                self.busy_ses_count -= 1;
+            }
+        }
+    }
+
+    /// Re-rates every in-flight kernel whose mask intersects `changed`,
+    /// refreshing only the per-SE aggregates that overlap the change.
+    fn rerate_intersecting(&mut self, changed: &CuMask) {
+        let Engine {
+            actives,
+            residents,
+            se_words,
+            sharing_penalty,
+            rerates,
+            share_scratch,
+            ..
+        } = self;
+        for memo in share_scratch.iter_mut() {
+            memo.clear();
+        }
+        let cw = changed.raw_words();
+        for k in actives.iter_mut() {
+            let kw = k.mask.raw_words();
+            if (kw[0] & cw[0]) | (kw[1] & cw[1]) == 0 {
+                continue;
+            }
+            for (se, sw) in se_words.iter().enumerate() {
+                if (kw[0] & cw[0] & sw[0]) | (kw[1] & cw[1] & sw[1]) == 0 {
+                    continue;
+                }
+                k.se_eff[se] =
+                    memo_se_eff(&mut share_scratch[se], kw, *sw, residents, *sharing_penalty);
+            }
+            k.rate = cached_rate(k, se_words);
+            debug_assert!(k.rate > 0.0, "in-flight kernel with zero rate");
+            *rerates += 1;
         }
     }
 
@@ -153,17 +337,40 @@ impl Engine {
         let id = KernelId(self.next_id);
         self.next_id += 1;
         for cu in &mask {
-            self.residents[usize::from(cu)] += 1;
+            self.add_resident(usize::from(cu));
         }
-        self.actives.push(ActiveKernel {
+        self.rerate_intersecting(&mask);
+        let mut k = ActiveKernel {
             id,
             mask,
             parallelism,
             bandwidth_floor,
             remaining: work,
             rate: 0.0,
-        });
-        self.recompute_rates();
+            se_eff: vec![f64::INFINITY; self.se_words.len()],
+        };
+        // The pass memo is still warm from `rerate_intersecting` above
+        // (same residents), so SEs the new kernel shares with a
+        // co-resident cost one lookup instead of a re-sum.
+        let kw = mask.raw_words();
+        let Engine {
+            share_scratch,
+            se_words,
+            residents,
+            sharing_penalty,
+            ..
+        } = self;
+        for (se, sw) in se_words.iter().enumerate() {
+            if (kw[0] & sw[0]) | (kw[1] & sw[1]) != 0 {
+                k.se_eff[se] =
+                    memo_se_eff(&mut share_scratch[se], kw, *sw, residents, *sharing_penalty);
+            }
+        }
+        k.rate = cached_rate(&k, &self.se_words);
+        debug_assert!(k.rate > 0.0, "in-flight kernel with zero rate");
+        self.actives.push(k);
+        self.rerates += 1;
+        self.epoch += 1;
         Ok(id)
     }
 
@@ -176,13 +383,24 @@ impl Engine {
         for k in &mut self.actives {
             k.remaining = (k.remaining - k.rate * ns).max(0.0);
         }
+        self.epoch += 1;
     }
 
     /// The instant and id of the next kernel to finish, given the current
     /// time, or `None` when the engine is idle. Deterministic tie-break:
     /// the lowest kernel id wins.
+    ///
+    /// The scan is memoized per `(mutation epoch, now)`: hosts query this
+    /// several times between events (once per `next_event_at` probe, once
+    /// per step), and repeat queries are O(1).
     pub fn next_completion(&self, now: SimTime) -> Option<(SimTime, KernelId)> {
-        self.actives
+        if let Some((epoch, at, memo)) = self.completion_memo.get() {
+            if epoch == self.epoch && at == now {
+                return memo;
+            }
+        }
+        let next = self
+            .actives
             .iter()
             .map(|k| {
                 let ns = if k.remaining <= 0.0 {
@@ -192,7 +410,9 @@ impl Engine {
                 };
                 (now + SimDuration::from_nanos(ns), k.id)
             })
-            .min()
+            .min();
+        self.completion_memo.set(Some((self.epoch, now, next)));
+        next
     }
 
     /// Removes a finished kernel, returning its mask (for counter
@@ -210,11 +430,10 @@ impl Engine {
             .unwrap_or_else(|| panic!("{id} is not in flight"));
         let k = self.actives.swap_remove(idx);
         for cu in &k.mask {
-            let r = &mut self.residents[usize::from(cu)];
-            debug_assert!(*r > 0);
-            *r -= 1;
+            self.remove_resident(usize::from(cu));
         }
-        self.recompute_rates();
+        self.rerate_intersecting(&k.mask);
+        self.epoch += 1;
         k.mask
     }
 
@@ -255,9 +474,7 @@ impl Engine {
                 continue;
             }
             for cu in &lost {
-                let r = &mut self.residents[usize::from(cu)];
-                debug_assert!(*r > 0);
-                *r -= 1;
+                self.remove_resident(usize::from(cu));
             }
             let survived = self.actives[i].mask - failed;
             if survived.is_empty() {
@@ -266,7 +483,7 @@ impl Engine {
                     "fallback mask for a fully-failed kernel must be healthy and non-empty"
                 );
                 for cu in &fallback {
-                    self.residents[usize::from(cu)] += 1;
+                    self.add_resident(usize::from(cu));
                 }
                 self.actives[i].mask = fallback;
                 changed.push((self.actives[i].id, lost, Some(fallback)));
@@ -276,7 +493,10 @@ impl Engine {
             }
         }
         if !changed.is_empty() {
+            // Masks changed arbitrarily (shrink + migrate); the rare
+            // fault path just rebuilds every cache from scratch.
             self.recompute_rates();
+            self.epoch += 1;
         }
         changed
     }
@@ -298,19 +518,21 @@ impl Engine {
 
     /// Number of CUs with at least one resident kernel (power gating input).
     pub fn busy_cus(&self) -> u32 {
-        self.residents.iter().filter(|&&r| r > 0).count() as u32
+        self.busy_cus_count
     }
 
     /// Number of shader engines with at least one busy CU.
     pub fn busy_ses(&self) -> u32 {
-        self.topology
-            .ses()
-            .filter(|&se| {
-                self.topology
-                    .cus_in_se(se)
-                    .any(|cu| self.residents[usize::from(cu)] > 0)
-            })
-            .count() as u32
+        self.busy_ses_count
+    }
+
+    /// Number of kernel re-ratings performed since construction. A
+    /// dispatch or completion only re-rates the kernels whose masks
+    /// intersect the changed CUs (plus the dispatched kernel itself), so
+    /// disjoint-mask churn leaves residents untouched — the property the
+    /// differential oracle tests pin.
+    pub fn rerate_count(&self) -> u64 {
+        self.rerates
     }
 
     /// Total CU-equivalents of service being delivered right now.
@@ -323,20 +545,28 @@ impl Engine {
         &self.residents
     }
 
+    /// Rebuilds every kernel's per-SE aggregates and rate from scratch.
     fn recompute_rates(&mut self) {
-        let topo = self.topology;
-        let gamma = self.sharing_penalty;
-        let residents = &self.residents;
-        for k in &mut self.actives {
-            k.rate = contention::kernel_rate(
-                &k.mask,
-                k.parallelism,
-                k.bandwidth_floor,
-                residents,
-                &topo,
-                gamma,
-            );
+        let Engine {
+            actives,
+            residents,
+            se_words,
+            sharing_penalty,
+            rerates,
+            ..
+        } = self;
+        for k in actives.iter_mut() {
+            let kw = k.mask.raw_words();
+            for (se, sw) in se_words.iter().enumerate() {
+                k.se_eff[se] = if (kw[0] & sw[0]) | (kw[1] & sw[1]) != 0 {
+                    se_eff_sum(kw, *sw, residents, *sharing_penalty)
+                } else {
+                    f64::INFINITY
+                };
+            }
+            k.rate = cached_rate(k, se_words);
             debug_assert!(k.rate > 0.0, "in-flight kernel with zero rate");
+            *rerates += 1;
         }
     }
 }
@@ -480,6 +710,48 @@ mod tests {
         e.dispatch(1.0e6, 60, 0.0, CuMask::first_n(15, &t)).unwrap();
         let failed: CuMask = [crate::topology::CuId(59)].into_iter().collect();
         assert!(e.fail_cus(failed, CuMask::first_n(15, &t)).is_empty());
+    }
+
+    #[test]
+    fn disjoint_dispatch_reuses_resident_rates() {
+        let t = topo();
+        let mut e = Engine::new(t);
+        let se1: CuMask = t.cus_in_se(crate::topology::SeId(1)).collect();
+        e.dispatch(1.0e6, 60, 0.0, CuMask::first_n(15, &t)).unwrap();
+        let before = e.rerate_count();
+        // A kernel on a disjoint SE rates only itself, in and out.
+        let k = e.dispatch(1.0e6, 60, 0.0, se1).unwrap();
+        assert_eq!(e.rerate_count(), before + 1);
+        e.complete(k);
+        assert_eq!(e.rerate_count(), before + 1);
+    }
+
+    #[test]
+    fn overlapping_dispatch_rerates_sharers() {
+        let t = topo();
+        let mut e = Engine::new(t);
+        let mask = CuMask::first_n(15, &t);
+        e.dispatch(1.0e6, 60, 0.0, mask).unwrap();
+        let before = e.rerate_count();
+        e.dispatch(1.0e6, 60, 0.0, mask).unwrap();
+        // The resident sharer plus the new kernel.
+        assert_eq!(e.rerate_count(), before + 2);
+    }
+
+    #[test]
+    fn busy_counters_match_resident_scan() {
+        let t = topo();
+        let mut e = Engine::new(t);
+        let a = e.dispatch(1.0e6, 60, 0.0, CuMask::first_n(20, &t)).unwrap();
+        let b = e.dispatch(1.0e6, 60, 0.0, CuMask::first_n(5, &t)).unwrap();
+        let scan_cus = e.residents().iter().filter(|&&r| r > 0).count() as u32;
+        assert_eq!(e.busy_cus(), scan_cus);
+        assert_eq!(e.busy_ses(), 2);
+        e.complete(a);
+        assert_eq!(e.busy_cus(), 5);
+        assert_eq!(e.busy_ses(), 1);
+        e.complete(b);
+        assert_eq!((e.busy_cus(), e.busy_ses()), (0, 0));
     }
 
     #[test]

@@ -56,6 +56,7 @@ pub mod counters;
 pub mod engine;
 pub mod fault;
 pub mod machine;
+pub mod machine_config;
 pub mod mask;
 pub mod power;
 pub mod queue;

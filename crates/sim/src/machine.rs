@@ -30,7 +30,7 @@
 //! ```
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeSet, BinaryHeap, HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::sync::Arc;
 
@@ -51,183 +51,9 @@ use crate::queue::{
 use crate::time::{SimDuration, SimTime};
 use crate::topology::GpuTopology;
 
-/// How the packet processor decides each kernel's CU mask.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum EnforcementMode {
-    /// Baseline hardware: every kernel inherits its queue's CU mask
-    /// (AMD CU-Masking API semantics; also models MPS-style GPU%
-    /// restriction when the mask is the full device).
-    #[default]
-    QueueMask,
-    /// KRISP hardware: dispatch packets carrying a partition size are
-    /// given a freshly allocated per-kernel mask by the
-    /// [`MaskAllocator`]; legacy packets fall back to the queue mask.
-    KernelScoped,
-}
-
-/// Fixed dispatch-path latencies.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct DispatchCosts {
-    /// Host-side launch overhead applied to every kernel dispatch
-    /// (runtime packet assembly, doorbell, dispatcher pickup).
-    pub kernel_launch: SimDuration,
-    /// Resource-mask generation latency, applied only when the packet
-    /// processor allocates a kernel-scoped partition. The paper measured
-    /// a 1 µs tail for its Algorithm 1 implementation (§IV-D3).
-    pub mask_generation: SimDuration,
-}
-
-impl Default for DispatchCosts {
-    fn default() -> DispatchCosts {
-        DispatchCosts {
-            kernel_launch: SimDuration::from_micros(5),
-            mask_generation: SimDuration::from_micros(1),
-        }
-    }
-}
-
-/// Configuration for a [`Machine`].
-pub struct MachineConfig {
-    /// Device shape. Defaults to [`GpuTopology::MI50`].
-    pub topology: GpuTopology,
-    /// Power-model coefficients. Defaults to [`PowerModel::MI50`].
-    pub power: PowerModel,
-    /// Dispatch-path latencies.
-    pub costs: DispatchCosts,
-    /// Mask-enforcement mode.
-    pub mode: EnforcementMode,
-    /// Allocator used in [`EnforcementMode::KernelScoped`].
-    pub allocator: Box<dyn MaskAllocator>,
-    /// RNG seed for execution-time jitter.
-    pub seed: u64,
-    /// Lognormal sigma of the multiplicative kernel-duration jitter
-    /// (0.0 disables jitter; experiments use ~0.03 so that tail
-    /// latencies are meaningful).
-    pub jitter_sigma: f64,
-    /// Co-residency interference factor passed to the execution engine
-    /// (see [`crate::contention`]); 0.0 = ideal processor sharing.
-    pub sharing_penalty: f64,
-    /// Observability handles (event bus + metrics). Disabled by default;
-    /// when disabled every instrumentation site is a single branch.
-    pub obs: Obs,
-    /// Deterministic fault schedule, shared read-only (hosts driving
-    /// many machines hand every machine the same [`Arc`] instead of
-    /// cloning the plan per device). Empty by default; an empty plan is
-    /// zero-cost and leaves every run bit-identical (no timers, no RNG
-    /// draws, no mask changes).
-    pub faults: Arc<FaultPlan>,
-}
-
-impl fmt::Debug for MachineConfig {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("MachineConfig")
-            .field("topology", &self.topology)
-            .field("power", &self.power)
-            .field("costs", &self.costs)
-            .field("mode", &self.mode)
-            .field("seed", &self.seed)
-            .field("jitter_sigma", &self.jitter_sigma)
-            .field("sharing_penalty", &self.sharing_penalty)
-            .field("faults", &self.faults)
-            .finish_non_exhaustive()
-    }
-}
-
-impl Default for MachineConfig {
-    fn default() -> MachineConfig {
-        MachineConfig {
-            topology: GpuTopology::MI50,
-            power: PowerModel::MI50,
-            costs: DispatchCosts::default(),
-            mode: EnforcementMode::QueueMask,
-            allocator: Box::new(crate::allocator::FullMaskAllocator),
-            seed: 42,
-            jitter_sigma: 0.0,
-            sharing_penalty: crate::contention::DEFAULT_SHARING_PENALTY,
-            obs: Obs::disabled(),
-            faults: Arc::new(FaultPlan::new()),
-        }
-    }
-}
-
-/// Events the machine reports to its host, in simulated-time order.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum SimEvent {
-    /// A kernel began executing (after launch/mask-generation latency)
-    /// with the given enforced mask.
-    KernelStarted {
-        /// Queue the kernel came from.
-        queue: QueueId,
-        /// Correlation tag from the dispatch packet.
-        tag: u64,
-        /// When execution began.
-        at: SimTime,
-        /// The spatial partition the kernel runs in.
-        mask: CuMask,
-    },
-    /// A kernel finished; its queue is free to process the next packet.
-    KernelCompleted {
-        /// Queue the kernel came from.
-        queue: QueueId,
-        /// Correlation tag from the dispatch packet.
-        tag: u64,
-        /// Completion instant.
-        at: SimTime,
-    },
-    /// A barrier packet was consumed (its dependency, if any, was
-    /// satisfied). The paper's emulation uses this to trigger the
-    /// runtime callback that reconfigures the queue's CU mask.
-    BarrierConsumed {
-        /// Queue the barrier was on.
-        queue: QueueId,
-        /// Correlation tag from the barrier packet.
-        tag: u64,
-        /// Consumption instant.
-        at: SimTime,
-    },
-    /// A host timer registered with [`Machine::add_timer`] fired.
-    TimerFired {
-        /// Caller-chosen token.
-        token: u64,
-        /// Fire instant.
-        at: SimTime,
-    },
-    /// An injected fault permanently failed a set of CUs (see
-    /// [`FaultKind::FailCus`]). Hosts use this to mark the device
-    /// degraded.
-    CusFailed {
-        /// The CUs that just died.
-        mask: CuMask,
-        /// Injection instant.
-        at: SimTime,
-    },
-}
-
-/// Errors from [`Machine`] configuration calls.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum MachineError {
-    /// The queue id was never created on this machine.
-    UnknownQueue(QueueId),
-    /// An empty CU mask was supplied; kernels could never progress.
-    EmptyMask,
-    /// The CU-mask apply was rejected by an injected IOCTL fault
-    /// ([`FaultKind::RejectMaskApply`]); the caller may retry.
-    MaskApplyRejected(QueueId),
-}
-
-impl fmt::Display for MachineError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            MachineError::UnknownQueue(q) => write!(f, "unknown queue {q}"),
-            MachineError::EmptyMask => write!(f, "empty CU mask"),
-            MachineError::MaskApplyRejected(q) => {
-                write!(f, "CU-mask apply rejected on {q} (injected IOCTL fault)")
-            }
-        }
-    }
-}
-
-impl std::error::Error for MachineError {}
+pub use crate::machine_config::{
+    DispatchCosts, EnforcementMode, MachineConfig, MachineError, SimEvent,
+};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum TimerKind {
@@ -280,6 +106,17 @@ pub struct Machine {
     obs: Obs,
 
     queues: Vec<HsaQueue>,
+    /// Indices of queues the command processor can make progress on right
+    /// now — maintained on every state transition so `pump_queues` and
+    /// `next_event_at` never scan all queues. Must stay *exact* (not a
+    /// superset): a stale entry would make `next_event_at` report a
+    /// spurious event "now" and change multi-machine interleaving.
+    runnable: BTreeSet<u32>,
+    /// Pre-interned metric label values (`queue.0` as a string, indexed
+    /// by queue id), so the per-completion hot path never allocates.
+    queue_labels: Vec<String>,
+    /// Pre-interned per-CU label values, indexed by global CU id.
+    cu_labels: Vec<String>,
     pending_dispatch: HashMap<QueueId, DispatchPacket>,
     inflight: HashMap<KernelId, InflightKernel>,
     waiting_on_signal: HashMap<SignalId, (QueueId, u64, SimTime)>,
@@ -346,6 +183,11 @@ impl Machine {
             service_cu_seconds: 0.0,
             obs: config.obs,
             queues: Vec::new(),
+            runnable: BTreeSet::new(),
+            queue_labels: Vec::new(),
+            cu_labels: (0..config.topology.total_cus())
+                .map(|cu| cu.to_string())
+                .collect(),
             pending_dispatch: HashMap::new(),
             inflight: HashMap::new(),
             waiting_on_signal: HashMap::new(),
@@ -441,6 +283,7 @@ impl Machine {
                 let info = self.inflight.remove(&id).expect("running kernel tracked");
                 self.queues[qi].state = QueueState::Idle;
                 self.queues[qi].held = true;
+                self.refresh_runnable(qi);
                 Some(info.packet)
             }
             QueueState::Dispatching => {
@@ -450,6 +293,7 @@ impl Machine {
                 let packet = self.pending_dispatch.remove(&queue)?;
                 self.queues[qi].state = QueueState::Idle;
                 self.queues[qi].held = true;
+                self.refresh_runnable(qi);
                 Some(packet)
             }
             _ => None,
@@ -466,6 +310,7 @@ impl Machine {
         let qi = queue.0 as usize;
         assert!(qi < self.queues.len(), "unknown queue {queue}");
         self.queues[qi].held = false;
+        self.refresh_runnable(qi);
     }
 
     /// Pushes a packet at the *front* of a queue (retry path: an aborted
@@ -480,12 +325,14 @@ impl Machine {
             .get_mut(queue.0 as usize)
             .unwrap_or_else(|| panic!("unknown queue {queue}"));
         q.packets.push_front(packet);
+        self.refresh_runnable(queue.0 as usize);
     }
 
     /// Creates a new HSA queue (stream) with the full-device CU mask.
     pub fn create_queue(&mut self) -> QueueId {
         let id = QueueId(self.queues.len() as u32);
         self.queues.push(HsaQueue::new(id, &self.topology));
+        self.queue_labels.push(id.0.to_string());
         id
     }
 
@@ -548,10 +395,11 @@ impl Machine {
             let depth = q.packets.len() as f64;
             self.obs.metrics.set_gauge(
                 "krisp_queue_depth",
-                &[("queue", &queue.0.to_string())],
+                &[("queue", &self.queue_labels[queue.0 as usize])],
                 depth,
             );
         }
+        self.refresh_runnable(queue.0 as usize);
     }
 
     /// Convenience: pushes a legacy dispatch packet (inherits the queue
@@ -606,6 +454,7 @@ impl Machine {
         }
         if let Some((queue, tag, blocked_at)) = self.waiting_on_signal.remove(&signal) {
             self.queues[queue.0 as usize].state = QueueState::Idle;
+            self.refresh_runnable(queue.0 as usize);
             self.obs
                 .bus
                 .emit(self.now.as_nanos(), || EventKind::BarrierDrain {
@@ -633,7 +482,7 @@ impl Machine {
     /// machines conservatively (multi-GPU serving): always step the
     /// machine with the earliest next event.
     pub fn next_event_at(&self) -> Option<SimTime> {
-        if !self.out.is_empty() || self.queues.iter().any(|q| self.queue_runnable(q)) {
+        if !self.out.is_empty() || !self.runnable.is_empty() {
             return Some(self.now);
         }
         let completion = self.engine.next_completion(self.now).map(|(t, _)| t);
@@ -682,9 +531,10 @@ impl Machine {
                     }),
                     TimerKind::QueueDelay(q) => self.start_pending_dispatch(q),
                     TimerKind::Fault(idx) => self.inject_fault(idx),
-                    // The stall window ended: nothing to do here — the
-                    // loop re-pumps queues, and queue_runnable now passes.
-                    TimerKind::StallEnd => {}
+                    // The stall window ended: drop expired windows and
+                    // put their queues back in the runnable index; the
+                    // loop then re-pumps.
+                    TimerKind::StallEnd => self.expire_stalls(),
                 }
             }
         }
@@ -724,6 +574,18 @@ impl Machine {
                     .is_none_or(|&until| until <= self.now))
     }
 
+    /// Re-evaluates one queue's membership in the runnable index. Called
+    /// at every transition that can flip [`Machine::queue_runnable`]:
+    /// packet push, pump, dispatch start/finish, signal completion,
+    /// abort/release, and stall-window open/close.
+    fn refresh_runnable(&mut self, qi: usize) {
+        if self.queue_runnable(&self.queues[qi]) {
+            self.runnable.insert(qi as u32);
+        } else {
+            self.runnable.remove(&(qi as u32));
+        }
+    }
+
     fn push_timer(&mut self, at: SimTime, kind: TimerKind) {
         let seq = self.next_timer_seq;
         self.next_timer_seq += 1;
@@ -758,6 +620,7 @@ impl Machine {
             .remove(&id)
             .expect("completed kernel not tracked");
         self.queues[queue.0 as usize].state = QueueState::Idle;
+        self.refresh_runnable(queue.0 as usize);
         self.obs
             .bus
             .emit(self.now.as_nanos(), || EventKind::KernelComplete {
@@ -769,16 +632,17 @@ impl Machine {
             });
         if self.obs.metrics.enabled() {
             let dur_ns = self.now.saturating_since(started).as_nanos();
-            let q = queue.0.to_string();
-            self.obs
-                .metrics
-                .inc("krisp_kernel_busy_ns", &[("queue", &q)], dur_ns);
+            self.obs.metrics.inc(
+                "krisp_kernel_busy_ns",
+                &[("queue", &self.queue_labels[queue.0 as usize])],
+                dur_ns,
+            );
             // Per-CU occupancy: nanoseconds each CU spent allocated to
             // some kernel (the Resource Monitor's view, accumulated).
             for cu in &mask {
                 self.obs.metrics.inc(
                     "krisp_cu_allocated_ns",
-                    &[("cu", &cu.0.to_string())],
+                    &[("cu", &self.cu_labels[usize::from(cu)])],
                     dur_ns,
                 );
             }
@@ -790,8 +654,36 @@ impl Machine {
         });
     }
 
+    /// Removes stall windows that have ended and re-indexes their queues.
+    /// Runs when a `StallEnd` timer fires — the heap guarantees time
+    /// cannot pass a window's end without popping its timer, so the
+    /// runnable index never goes stale across an expiry.
+    fn expire_stalls(&mut self) {
+        let now = self.now;
+        let expired: Vec<QueueId> = self
+            .stalled_until
+            .iter()
+            .filter(|&(_, &until)| until <= now)
+            .map(|(&q, _)| q)
+            .collect();
+        for q in expired {
+            self.stalled_until.remove(&q);
+            if (q.0 as usize) < self.queues.len() {
+                self.refresh_runnable(q.0 as usize);
+            }
+        }
+    }
+
     fn pump_queues(&mut self) {
-        for qi in 0..self.queues.len() {
+        if self.runnable.is_empty() {
+            return;
+        }
+        // Snapshot: pumping one queue never makes another runnable (all
+        // effects are queue-local), so ascending-index iteration over the
+        // current members matches the old full scan exactly.
+        let snapshot: Vec<u32> = self.runnable.iter().copied().collect();
+        for qi in snapshot {
+            let qi = qi as usize;
             loop {
                 if !self.queue_runnable(&self.queues[qi]) {
                     break;
@@ -844,6 +736,7 @@ impl Machine {
                     }
                 }
             }
+            self.refresh_runnable(qi);
         }
     }
 
@@ -906,6 +799,7 @@ impl Machine {
             .expect("non-empty mask");
         self.counters.assign(&mask);
         self.queues[queue.0 as usize].state = QueueState::Running(id);
+        self.refresh_runnable(queue.0 as usize);
         self.out.push_back(SimEvent::KernelStarted {
             queue,
             tag: d.tag,
@@ -988,6 +882,9 @@ impl Machine {
                 let entry = self.stalled_until.entry(queue).or_insert(until);
                 *entry = (*entry).max(until);
                 self.push_timer(until, TimerKind::StallEnd);
+                if (queue.0 as usize) < self.queues.len() {
+                    self.refresh_runnable(queue.0 as usize);
+                }
                 self.obs
                     .bus
                     .emit(self.now.as_nanos(), || EventKind::QueueStalled {

@@ -1,0 +1,200 @@
+//! Configuration, host-visible events, and errors for the
+//! [`Machine`](crate::Machine).
+//!
+//! The machine itself (queues + command processor + execution engine)
+//! lives in [`crate::machine`]; this module holds the plain-data types a
+//! host touches when building and driving one, so the event-loop source
+//! stays focused on the simulation itself.
+
+use std::fmt;
+use std::sync::Arc;
+
+use krisp_obs::Obs;
+
+use crate::allocator::MaskAllocator;
+use crate::fault::FaultPlan;
+use crate::mask::CuMask;
+use crate::power::PowerModel;
+use crate::queue::QueueId;
+use crate::time::{SimDuration, SimTime};
+use crate::topology::GpuTopology;
+
+/// How the packet processor decides each kernel's CU mask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EnforcementMode {
+    /// Baseline hardware: every kernel inherits its queue's CU mask
+    /// (AMD CU-Masking API semantics; also models MPS-style GPU%
+    /// restriction when the mask is the full device).
+    #[default]
+    QueueMask,
+    /// KRISP hardware: dispatch packets carrying a partition size are
+    /// given a freshly allocated per-kernel mask by the
+    /// [`MaskAllocator`]; legacy packets fall back to the queue mask.
+    KernelScoped,
+}
+
+/// Fixed dispatch-path latencies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DispatchCosts {
+    /// Host-side launch overhead applied to every kernel dispatch
+    /// (runtime packet assembly, doorbell, dispatcher pickup).
+    pub kernel_launch: SimDuration,
+    /// Resource-mask generation latency, applied only when the packet
+    /// processor allocates a kernel-scoped partition. The paper measured
+    /// a 1 µs tail for its Algorithm 1 implementation (§IV-D3).
+    pub mask_generation: SimDuration,
+}
+
+impl Default for DispatchCosts {
+    fn default() -> DispatchCosts {
+        DispatchCosts {
+            kernel_launch: SimDuration::from_micros(5),
+            mask_generation: SimDuration::from_micros(1),
+        }
+    }
+}
+
+/// Configuration for a [`Machine`](crate::Machine).
+pub struct MachineConfig {
+    /// Device shape. Defaults to [`GpuTopology::MI50`].
+    pub topology: GpuTopology,
+    /// Power-model coefficients. Defaults to [`PowerModel::MI50`].
+    pub power: PowerModel,
+    /// Dispatch-path latencies.
+    pub costs: DispatchCosts,
+    /// Mask-enforcement mode.
+    pub mode: EnforcementMode,
+    /// Allocator used in [`EnforcementMode::KernelScoped`].
+    pub allocator: Box<dyn MaskAllocator>,
+    /// RNG seed for execution-time jitter.
+    pub seed: u64,
+    /// Lognormal sigma of the multiplicative kernel-duration jitter
+    /// (0.0 disables jitter; experiments use ~0.03 so that tail
+    /// latencies are meaningful).
+    pub jitter_sigma: f64,
+    /// Co-residency interference factor passed to the execution engine
+    /// (see [`crate::contention`]); 0.0 = ideal processor sharing.
+    pub sharing_penalty: f64,
+    /// Observability handles (event bus + metrics). Disabled by default;
+    /// when disabled every instrumentation site is a single branch.
+    pub obs: Obs,
+    /// Deterministic fault schedule, shared read-only (hosts driving
+    /// many machines hand every machine the same [`Arc`] instead of
+    /// cloning the plan per device). Empty by default; an empty plan is
+    /// zero-cost and leaves every run bit-identical (no timers, no RNG
+    /// draws, no mask changes).
+    pub faults: Arc<FaultPlan>,
+}
+
+impl fmt::Debug for MachineConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MachineConfig")
+            .field("topology", &self.topology)
+            .field("power", &self.power)
+            .field("costs", &self.costs)
+            .field("mode", &self.mode)
+            .field("seed", &self.seed)
+            .field("jitter_sigma", &self.jitter_sigma)
+            .field("sharing_penalty", &self.sharing_penalty)
+            .field("faults", &self.faults)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> MachineConfig {
+        MachineConfig {
+            topology: GpuTopology::MI50,
+            power: PowerModel::MI50,
+            costs: DispatchCosts::default(),
+            mode: EnforcementMode::QueueMask,
+            allocator: Box::new(crate::allocator::FullMaskAllocator),
+            seed: 42,
+            jitter_sigma: 0.0,
+            sharing_penalty: crate::contention::DEFAULT_SHARING_PENALTY,
+            obs: Obs::disabled(),
+            faults: Arc::new(FaultPlan::new()),
+        }
+    }
+}
+
+/// Events the machine reports to its host, in simulated-time order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimEvent {
+    /// A kernel began executing (after launch/mask-generation latency)
+    /// with the given enforced mask.
+    KernelStarted {
+        /// Queue the kernel came from.
+        queue: QueueId,
+        /// Correlation tag from the dispatch packet.
+        tag: u64,
+        /// When execution began.
+        at: SimTime,
+        /// The spatial partition the kernel runs in.
+        mask: CuMask,
+    },
+    /// A kernel finished; its queue is free to process the next packet.
+    KernelCompleted {
+        /// Queue the kernel came from.
+        queue: QueueId,
+        /// Correlation tag from the dispatch packet.
+        tag: u64,
+        /// Completion instant.
+        at: SimTime,
+    },
+    /// A barrier packet was consumed (its dependency, if any, was
+    /// satisfied). The paper's emulation uses this to trigger the
+    /// runtime callback that reconfigures the queue's CU mask.
+    BarrierConsumed {
+        /// Queue the barrier was on.
+        queue: QueueId,
+        /// Correlation tag from the barrier packet.
+        tag: u64,
+        /// Consumption instant.
+        at: SimTime,
+    },
+    /// A host timer registered with
+    /// [`Machine::add_timer`](crate::Machine::add_timer) fired.
+    TimerFired {
+        /// Caller-chosen token.
+        token: u64,
+        /// Fire instant.
+        at: SimTime,
+    },
+    /// An injected fault permanently failed a set of CUs (see
+    /// [`FaultKind::FailCus`](crate::fault::FaultKind::FailCus)). Hosts
+    /// use this to mark the device degraded.
+    CusFailed {
+        /// The CUs that just died.
+        mask: CuMask,
+        /// Injection instant.
+        at: SimTime,
+    },
+}
+
+/// Errors from [`Machine`](crate::Machine) configuration calls.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachineError {
+    /// The queue id was never created on this machine.
+    UnknownQueue(QueueId),
+    /// An empty CU mask was supplied; kernels could never progress.
+    EmptyMask,
+    /// The CU-mask apply was rejected by an injected IOCTL fault
+    /// ([`FaultKind::RejectMaskApply`](crate::fault::FaultKind::RejectMaskApply));
+    /// the caller may retry.
+    MaskApplyRejected(QueueId),
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::UnknownQueue(q) => write!(f, "unknown queue {q}"),
+            MachineError::EmptyMask => write!(f, "empty CU mask"),
+            MachineError::MaskApplyRejected(q) => {
+                write!(f, "CU-mask apply rejected on {q} (injected IOCTL fault)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}

@@ -108,26 +108,21 @@ impl CuMask {
 
     /// Iterator over the CUs in the mask, in ascending id order.
     pub fn iter(&self) -> Iter {
-        Iter {
-            mask: *self,
-            next: 0,
-        }
+        Iter { words: self.words }
     }
 
     /// The subset of this mask that falls within one shader engine.
     pub fn se_submask(&self, topo: &GpuTopology, se: SeId) -> CuMask {
-        let mut sub = CuMask::new();
-        for cu in topo.cus_in_se(se) {
-            if self.contains(cu) {
-                sub.set(cu);
-            }
+        let w = topo.se_words(se);
+        CuMask {
+            words: [self.words[0] & w[0], self.words[1] & w[1]],
         }
-        sub
     }
 
     /// Number of mask CUs inside one shader engine.
     pub fn count_in_se(&self, topo: &GpuTopology, se: SeId) -> u16 {
-        topo.cus_in_se(se).filter(|&cu| self.contains(cu)).count() as u16
+        let w = topo.se_words(se);
+        ((self.words[0] & w[0]).count_ones() + (self.words[1] & w[1]).count_ones()) as u16
     }
 
     /// The shader engines covered by at least one mask CU, ascending.
@@ -152,24 +147,35 @@ impl CuMask {
 }
 
 /// Iterator over the CUs of a [`CuMask`], produced by [`CuMask::iter`].
+///
+/// Walks set bits directly (`trailing_zeros` + clear-lowest-bit) rather
+/// than probing all [`MAX_CUS`] positions; ascending id order is
+/// preserved because the low word is drained before the high word.
 #[derive(Debug, Clone)]
 pub struct Iter {
-    mask: CuMask,
-    next: u16,
+    words: [u64; 2],
 }
 
 impl Iterator for Iter {
     type Item = CuId;
 
     fn next(&mut self) -> Option<CuId> {
-        while self.next < MAX_CUS {
-            let cu = CuId(self.next);
-            self.next += 1;
-            if self.mask.contains(cu) {
-                return Some(cu);
-            }
+        if self.words[0] != 0 {
+            let bit = self.words[0].trailing_zeros() as u16;
+            self.words[0] &= self.words[0] - 1;
+            Some(CuId(bit))
+        } else if self.words[1] != 0 {
+            let bit = self.words[1].trailing_zeros() as u16;
+            self.words[1] &= self.words[1] - 1;
+            Some(CuId(64 + bit))
+        } else {
+            None
         }
-        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = (self.words[0].count_ones() + self.words[1].count_ones()) as usize;
+        (n, Some(n))
     }
 }
 

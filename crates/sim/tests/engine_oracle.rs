@@ -1,0 +1,323 @@
+//! Differential property tests for the incremental contention engine.
+//!
+//! The [`Engine`] maintains per-SE share aggregates and only re-rates
+//! the kernels whose masks intersect the CUs a mutation touched. The
+//! [`ReferenceEngine`] here does what the pre-optimization engine did:
+//! re-derive every kernel's rate from scratch via
+//! [`contention::kernel_rate`] after every mutation. Random
+//! dispatch/advance/complete/fail programs must leave the two engines
+//! *bitwise* identical — same rates, same busy counters, same
+//! next-completion instants — or the incremental caches have drifted
+//! from the model they claim to memoize.
+
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+use krisp_sim::{
+    contention, CuId, CuMask, Engine, GpuTopology, KernelId, SeId, SimDuration, SimTime,
+};
+
+/// A from-scratch recomputation of the fluid contention model — the
+/// oracle the incremental engine is checked against.
+struct RefKernel {
+    id: KernelId,
+    mask: CuMask,
+    parallelism: u16,
+    bandwidth_floor: f64,
+    remaining: f64,
+    rate: f64,
+}
+
+struct ReferenceEngine {
+    topo: GpuTopology,
+    gamma: f64,
+    residents: Vec<u16>,
+    actives: Vec<RefKernel>,
+}
+
+impl ReferenceEngine {
+    fn new(topo: GpuTopology, gamma: f64) -> ReferenceEngine {
+        ReferenceEngine {
+            topo,
+            gamma,
+            residents: vec![0; topo.total_cus() as usize],
+            actives: Vec::new(),
+        }
+    }
+
+    fn recompute_rates(&mut self) {
+        for k in &mut self.actives {
+            k.rate = contention::kernel_rate(
+                &k.mask,
+                k.parallelism,
+                k.bandwidth_floor,
+                &self.residents,
+                &self.topo,
+                self.gamma,
+            );
+        }
+    }
+
+    fn dispatch(&mut self, id: KernelId, work: f64, parallelism: u16, floor: f64, mask: CuMask) {
+        for cu in &mask {
+            self.residents[usize::from(cu)] += 1;
+        }
+        self.actives.push(RefKernel {
+            id,
+            mask,
+            parallelism,
+            bandwidth_floor: floor,
+            remaining: work,
+            rate: 0.0,
+        });
+        self.recompute_rates();
+    }
+
+    fn advance(&mut self, dt: SimDuration) {
+        let ns = dt.as_nanos() as f64;
+        for k in &mut self.actives {
+            k.remaining = (k.remaining - k.rate * ns).max(0.0);
+        }
+    }
+
+    fn next_completion(&self, now: SimTime) -> Option<(SimTime, KernelId)> {
+        self.actives
+            .iter()
+            .map(|k| {
+                let ns = if k.remaining <= 0.0 {
+                    0
+                } else {
+                    (k.remaining / k.rate).ceil() as u64
+                };
+                (now + SimDuration::from_nanos(ns), k.id)
+            })
+            .min()
+    }
+
+    // swap_remove mirrors the engine's removal so the two active lists
+    // stay in the same order and rate *sums* compare bitwise too.
+    fn complete(&mut self, id: KernelId) {
+        let idx = self
+            .actives
+            .iter()
+            .position(|k| k.id == id)
+            .expect("oracle and engine agree on in-flight ids");
+        let k = self.actives.swap_remove(idx);
+        for cu in &k.mask {
+            self.residents[usize::from(cu)] -= 1;
+        }
+        self.recompute_rates();
+    }
+
+    fn fail_cus(&mut self, failed: CuMask, fallback: CuMask) {
+        let mut changed = false;
+        for i in 0..self.actives.len() {
+            let lost = self.actives[i].mask & failed;
+            if lost.is_empty() {
+                continue;
+            }
+            changed = true;
+            for cu in &lost {
+                self.residents[usize::from(cu)] -= 1;
+            }
+            let survived = self.actives[i].mask - failed;
+            if survived.is_empty() {
+                for cu in &fallback {
+                    self.residents[usize::from(cu)] += 1;
+                }
+                self.actives[i].mask = fallback;
+            } else {
+                self.actives[i].mask = survived;
+            }
+        }
+        if changed {
+            self.recompute_rates();
+        }
+    }
+
+    fn busy_cus(&self) -> u32 {
+        self.residents.iter().filter(|&&r| r > 0).count() as u32
+    }
+
+    fn busy_ses(&self) -> u32 {
+        self.topo
+            .ses()
+            .filter(|&se| {
+                self.topo
+                    .cus_in_se(se)
+                    .any(|cu| self.residents[usize::from(cu)] > 0)
+            })
+            .count() as u32
+    }
+
+    fn total_service(&self) -> f64 {
+        contention::total_service(self.actives.iter().map(|k| k.rate))
+    }
+}
+
+/// One randomized host action against both engines.
+#[derive(Debug, Clone)]
+enum Op {
+    Dispatch {
+        start: u8,
+        len: u8,
+        work_us: u16,
+        parallelism: u16,
+        floor_pct: u8,
+    },
+    Advance {
+        dt_us: u16,
+    },
+    CompleteNext,
+    FailCu {
+        cu: u8,
+    },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // The dispatch arm appears twice to bias programs toward deeper
+    // co-residency (the vendored prop_oneof! has no weight syntax).
+    prop_oneof![
+        (0u8..60, 1u8..=30, 10u16..5_000, 1u16..=60, 0u8..=50).prop_map(
+            |(start, len, work_us, parallelism, floor_pct)| Op::Dispatch {
+                start,
+                len,
+                work_us,
+                parallelism,
+                floor_pct,
+            }
+        ),
+        (30u8..60, 1u8..=30, 10u16..5_000, 1u16..=60, 0u8..=50).prop_map(
+            |(start, len, work_us, parallelism, floor_pct)| Op::Dispatch {
+                start,
+                len,
+                work_us,
+                parallelism,
+                floor_pct,
+            }
+        ),
+        (1u16..5_000).prop_map(|dt_us| Op::Advance { dt_us }),
+        Just(Op::CompleteNext),
+        (0u8..60).prop_map(|cu| Op::FailCu { cu }),
+    ]
+}
+
+fn check(eng: &Engine, reference: &ReferenceEngine, now: SimTime) -> Result<(), TestCaseError> {
+    prop_assert_eq!(eng.active_count(), reference.actives.len());
+    for k in &reference.actives {
+        let rate = eng.rate_of(k.id);
+        prop_assert!(rate.is_some());
+        prop_assert_eq!(rate.unwrap().to_bits(), k.rate.to_bits());
+    }
+    prop_assert_eq!(eng.busy_cus(), reference.busy_cus());
+    prop_assert_eq!(eng.busy_ses(), reference.busy_ses());
+    prop_assert_eq!(eng.next_completion(now), reference.next_completion(now));
+    prop_assert_eq!(
+        eng.total_service().to_bits(),
+        reference.total_service().to_bits()
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn incremental_engine_matches_from_scratch_reference(
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+    ) {
+        let topo = GpuTopology::MI50;
+        let mut eng = Engine::new(topo);
+        let mut reference = ReferenceEngine::new(topo, eng.sharing_penalty());
+        let mut now = SimTime::ZERO;
+        let mut failed = CuMask::new();
+        let full = CuMask::full(&topo);
+        for op in ops {
+            match op {
+                Op::Dispatch { start, len, work_us, parallelism, floor_pct } => {
+                    let mut mask = CuMask::new();
+                    for cu in start..(start + len).min(60) {
+                        mask.set(CuId(cu as u16));
+                    }
+                    let mask = mask - failed;
+                    if mask.is_empty() {
+                        continue;
+                    }
+                    let work = f64::from(work_us) * 1_000.0;
+                    let floor = f64::from(floor_pct) / 100.0;
+                    let id = eng
+                        .dispatch(work, parallelism, floor, mask)
+                        .expect("mask is non-empty");
+                    reference.dispatch(id, work, parallelism, floor, mask);
+                }
+                Op::Advance { dt_us } => {
+                    let dt = SimDuration::from_micros(u64::from(dt_us));
+                    eng.advance(dt);
+                    reference.advance(dt);
+                    now += dt;
+                }
+                Op::CompleteNext => {
+                    if let Some((t, id)) = eng.next_completion(now) {
+                        let dt = t.saturating_since(now);
+                        eng.advance(dt);
+                        reference.advance(dt);
+                        now = t;
+                        eng.complete(id);
+                        reference.complete(id);
+                    }
+                }
+                Op::FailCu { cu } => {
+                    let cu = CuId(u16::from(cu));
+                    if failed.contains(cu) {
+                        continue;
+                    }
+                    let mut f = CuMask::new();
+                    f.set(cu);
+                    let fallback = full - failed - f;
+                    if fallback.is_empty() {
+                        continue;
+                    }
+                    failed.set(cu);
+                    eng.fail_cus(f, fallback);
+                    reference.fail_cus(f, fallback);
+                }
+            }
+            check(&eng, &reference, now)?;
+        }
+    }
+
+    /// The edge case the dirty-CU skip exists for: kernels on disjoint
+    /// shader engines never re-rate each other. A dispatch rates only
+    /// the new kernel (+1), a disjoint completion re-rates nobody (+0),
+    /// and every established rate survives bitwise.
+    #[test]
+    fn disjoint_masks_skip_re_rating(
+        work_us in proptest::collection::vec(10u16..5_000, 2..=4),
+    ) {
+        let topo = GpuTopology::MI50;
+        let mut eng = Engine::new(topo);
+        let mut ids: Vec<KernelId> = Vec::new();
+        for (se, &w) in work_us.iter().enumerate() {
+            let mask: CuMask = topo.cus_in_se(SeId(se as u8)).collect();
+            let before: Vec<(KernelId, u64)> = ids
+                .iter()
+                .map(|&id| (id, eng.rate_of(id).unwrap().to_bits()))
+                .collect();
+            let rerates = eng.rerate_count();
+            let id = eng
+                .dispatch(f64::from(w) * 1_000.0, 15, 0.0, mask)
+                .expect("SE mask is non-empty");
+            prop_assert_eq!(eng.rerate_count(), rerates + 1);
+            for (id, bits) in before {
+                prop_assert_eq!(eng.rate_of(id).unwrap().to_bits(), bits);
+            }
+            ids.push(id);
+        }
+        let rerates = eng.rerate_count();
+        eng.complete(ids[0]);
+        prop_assert_eq!(eng.rerate_count(), rerates);
+        for &id in &ids[1..] {
+            prop_assert_eq!(eng.rate_of(id).unwrap().to_bits(), 15.0f64.to_bits());
+        }
+    }
+}

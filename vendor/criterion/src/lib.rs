@@ -57,6 +57,18 @@ pub struct Bencher {
 }
 
 impl Bencher {
+    /// Creates a standalone bencher for benches that persist their
+    /// measurements (e.g. as JSON) instead of only printing them.
+    pub fn standalone() -> Bencher {
+        Bencher { median_ns: 0.0 }
+    }
+
+    /// Median nanoseconds per iteration measured by the last
+    /// [`Bencher::iter`] call.
+    pub fn median_ns(&self) -> f64 {
+        self.median_ns
+    }
+
     /// Times `routine`, storing the median per-iteration cost.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         // Calibrate: how many iterations fit in ~2 ms?

@@ -173,6 +173,8 @@ pub mod strategy {
         (0 A, 1 B)
         (0 A, 1 B, 2 C)
         (0 A, 1 B, 2 C, 3 D)
+        (0 A, 1 B, 2 C, 3 D, 4 E)
+        (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
     }
 }
 
